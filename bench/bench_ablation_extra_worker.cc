@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation (paper §4.4 "Implications of Using an Additional Core"):
+ * HotCalls dedicate logical cores to responder threads; the obvious
+ * alternative is to give the application an extra worker thread
+ * instead. The paper argues the extra worker can at most double
+ * throughput, so HotCalls win whenever they deliver more than 2x —
+ * which they do for the SGX memcached. This bench runs that exact
+ * comparison.
+ */
+
+#include <cstring>
+
+#include "apps/kvcache.hh"
+#include "bench/bench_common.hh"
+#include "workloads/memtier.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+double
+runKv(port::Mode mode, int workers, double seconds)
+{
+    mem::MachineConfig machine_config;
+    machine_config.engine.numCores = 8;
+    machine_config.engine.seed = 7;
+    machine_config.engine.interruptMeanCycles = 7'000'000;
+    mem::Machine machine(machine_config);
+    sgx::SgxPlatform platform(machine);
+    platform.installAexHandler();
+    os::Kernel kernel(machine);
+
+    port::PortConfig port_config;
+    port_config.mode = mode;
+    port_config.hotEcallCore = 2;
+    port_config.hotOcallCore = 3;
+    port_config.hotOcalls = {"ocall_read", "ocall_sendmsg"};
+    port::PortedApp app(platform, kernel, "memcached", port_config);
+
+    apps::KvCacheConfig server_config;
+    server_config.numWorkers = workers;
+    apps::KvCacheServer server(app, server_config);
+    workloads::MemtierClient client(kernel, server.listenPort());
+
+    double throughput = 0;
+    auto &engine = machine.engine();
+    engine.spawn("driver", 7, [&] {
+        app.startHotCalls();
+        server.start(0); // workers on cores 0, 1, ...
+        client.start(4);
+        engine.sleepFor(secondsToCycles(0.04));
+        const auto done0 = client.completed();
+        const Cycles t0 = machine.now();
+        engine.sleepFor(secondsToCycles(seconds));
+        throughput = static_cast<double>(client.completed() - done0) /
+                     cyclesToSeconds(machine.now() - t0);
+        client.stop();
+        server.stop();
+        app.stopHotCalls();
+        engine.stop();
+    });
+    engine.run();
+    return throughput;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    double seconds = 0.15;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--seconds=", 10) == 0)
+            seconds = std::atof(argv[i] + 10);
+
+    std::printf("Ablation: spend extra logical cores on worker "
+                "threads or on HotCalls responders?\n"
+                "(SGX memcached under memtier; paper §4.4)\n\n");
+
+    const double sgx1 = runKv(port::Mode::Sgx, 1, seconds);
+    const double sgx2 = runKv(port::Mode::Sgx, 2, seconds);
+    const double sgx3 = runKv(port::Mode::Sgx, 3, seconds);
+    const double hot1 = runKv(port::Mode::SgxHotCalls, 1, seconds);
+
+    TextTable table({"configuration", "cores used", "req/s",
+                     "vs 1-worker SGX"});
+    auto row = [&](const char *label, const char *cores, double v) {
+        char rel[32];
+        std::snprintf(rel, sizeof(rel), "%.2fx", v / sgx1);
+        table.addRow({label, cores, TextTable::num(v, 0), rel});
+    };
+    row("SGX, 1 worker (baseline)", "1", sgx1);
+    row("SGX, 2 workers", "2", sgx2);
+    row("SGX, 3 workers", "3", sgx3);
+    row("SGX, 1 worker + HotCalls", "3 (1+2 responders)", hot1);
+    table.print();
+
+    std::printf("\npaper's argument: one extra worker can at most "
+                "double throughput; HotCalls gave\nmemcached 2.4x, "
+                "so dedicating the core to a responder wins. Note "
+                "this simulated\nstore has no global cache lock, so "
+                "worker counts beyond the paper's comparison\nscale "
+                "more ideally than 1.4-era memcached would.\n");
+    return 0;
+}

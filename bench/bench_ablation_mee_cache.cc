@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: the MEE integrity-tree node cache. Fig 6's growing
+ * encrypted-read overhead comes from tree nodes spilling out of this
+ * small on-die cache as the buffer working set grows; sweeping the
+ * cache size shows the curve's knee moving.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+/** Median encrypted/plain overhead (%) for one cache geometry. */
+double
+overheadFor(int cache_entries, std::uint64_t buffer_bytes)
+{
+    mem::MachineConfig config;
+    config.engine.seed = 42;
+    config.mem.meeCacheEntries = cache_entries;
+    mem::Machine machine(config);
+    sgx::SgxPlatform platform(machine);
+
+    double overhead = 0;
+    machine.engine().spawn("driver", 0, [&] {
+        mem::Buffer enc(machine, mem::Domain::Epc, buffer_bytes);
+        mem::Buffer plain(machine, mem::Domain::Untrusted,
+                          buffer_bytes);
+        SampleSet e, p;
+        for (int i = 0; i < 300; ++i) {
+            enc.evict();
+            e.add(static_cast<double>(
+                machine.memory().readBuffer(enc.addr(),
+                                            buffer_bytes)));
+            plain.evict();
+            p.add(static_cast<double>(
+                machine.memory().readBuffer(plain.addr(),
+                                            buffer_bytes)));
+        }
+        overhead = (e.median() - p.median()) / p.median() * 100.0;
+    });
+    machine.engine().run();
+    return overhead;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Ablation: MEE node-cache size vs encrypted "
+                "sequential-read overhead\n");
+    std::printf("(default geometry: 48 entries, 2-way; paper Fig 6 "
+                "overheads: 54.5%% at 2 KiB -> 102%% at 32 KiB)\n\n");
+
+    const std::vector<std::uint64_t> sizes = {2048, 8192, 32768,
+                                              131072};
+    TextTable table({"node-cache entries", "2 KiB", "8 KiB",
+                     "32 KiB", "128 KiB"});
+    for (int entries : {8, 24, 48, 96, 512}) {
+        std::vector<std::string> row = {std::to_string(entries)};
+        for (std::uint64_t size : sizes)
+            row.push_back(
+                TextTable::num(overheadFor(entries, size), 1) + "%");
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\nbigger node caches flatten the curve (overhead "
+                "approaches the pure MEE-pipeline\ncost); tiny ones "
+                "pay tree-node fetches even for small buffers\n");
+    return 0;
+}

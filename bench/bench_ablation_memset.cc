@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation (paper §3.5 "Further optimizations"): the SDK's byte-wise
+ * memset vs a word-wise implementation, across buffer sizes, for the
+ * `out` transfer of both ecalls and ocalls. The paper blames the
+ * byte-wise memset for most of the `out` option's penalty and
+ * suggests Intel adopt an optimized version.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+double
+medianOutCall(TestBed &bed, bool ecall, std::uint64_t size,
+              const measure::MeasureConfig &config)
+{
+    auto &machine = *bed.machine;
+    auto &rt = *bed.runtime;
+    double median = 0;
+    machine.engine().spawn("driver", 0, [&] {
+        if (ecall) {
+            mem::Buffer buf(machine, mem::Domain::Untrusted, size);
+            const edl::Args args = {edl::Arg::buffer(buf),
+                                    edl::Arg::value(size)};
+            median = measure::measureOp(
+                         *bed.platform,
+                         [&] { rt.ecall("ecall_buf_out", args); },
+                         config)
+                         .samples.median();
+        } else {
+            mem::Buffer buf(machine, mem::Domain::Epc, size);
+            const edl::Args args = {edl::Arg::buffer(buf),
+                                    edl::Arg::value(size)};
+            bed.runInEnclave([&] {
+                median =
+                    measure::measureOracleOp(
+                        *bed.platform,
+                        [&] { rt.ocall("ocall_buf_from", args); },
+                        config)
+                        .samples.median();
+            });
+        }
+    });
+    machine.engine().run();
+    return median;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto config = parseMeasureConfig(argc, argv, 2'000);
+    std::printf("Ablation: byte-wise vs word-wise memset in `out` "
+                "transfers\n");
+
+    TextTable table({"Buffer", "direction", "byte-wise memset",
+                     "word-wise memset", "saved"});
+    for (std::uint64_t size : {1024ull, 2048ull, 4096ull, 8192ull}) {
+        for (bool ecall : {true, false}) {
+            TestBed bytewise(false);
+            edl::MarshalOptions word_options;
+            word_options.wordWiseMemset = true;
+            TestBed wordwise(false, word_options);
+            const double slow =
+                medianOutCall(bytewise, ecall, size, config);
+            const double fast =
+                medianOutCall(wordwise, ecall, size, config);
+            table.addRow({std::to_string(size) + " B",
+                          ecall ? "ecall out" : "ocall from",
+                          TextTable::cycles(slow),
+                          TextTable::cycles(fast),
+                          TextTable::cycles(slow - fast)});
+        }
+    }
+    table.print();
+    std::printf("the larger the buffer, the more the SDK's "
+                "byte-wise memset dominates the call\n");
+    return 0;
+}

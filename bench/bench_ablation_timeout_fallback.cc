@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation (paper §4.2 "Preventing starvation" / "Maximizing
+ * utilization"): several requesters sharing one HotCall responder.
+ * Sweeps the timeout (attempts before falling back to the SDK path)
+ * and the requester count, reporting completed HotCalls, fallback
+ * rate, and mean latency. The paper sets the timeout to 10 and
+ * reports it never expired for its (single-requester-per-channel)
+ * applications; under deliberate oversubscription the fallback is
+ * what keeps worst-case latency bounded.
+ */
+
+#include <cstring>
+
+#include "bench/bench_common.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+struct Result {
+    std::uint64_t calls = 0;
+    std::uint64_t fallbacks = 0;
+    double meanLatency = 0;
+};
+
+Result
+runContention(int requesters, int timeout_tries, Cycles work_cycles)
+{
+    TestBed bed(/*with_interrupts=*/false);
+    auto &machine = *bed.machine;
+    auto &engine = machine.engine();
+    auto &rt = *bed.runtime;
+
+    // An ecall with some service time, so the responder saturates.
+    rt.registerEcall("ecall_run_bench", [&](edl::StagedCall &) {
+        engine.advance(work_cycles);
+    });
+
+    hotcalls::HotCallConfig config;
+    config.timeoutTries = timeout_tries;
+    hotcalls::HotCallService hot(rt, hotcalls::Kind::HotEcall, 1,
+                                 config);
+    hot.start();
+
+    const int id = rt.ecallId("ecall_run_bench");
+    SampleSet latencies;
+    int done = 0;
+    for (int r = 0; r < requesters; ++r) {
+        engine.spawn("req" + std::to_string(r), 2 + r, [&, r] {
+            (void)r;
+            for (int i = 0; i < 500; ++i) {
+                const Cycles t0 = machine.now();
+                hot.call(id, {edl::Arg::value(0)});
+                latencies.add(
+                    static_cast<double>(machine.now() - t0));
+            }
+            if (++done == requesters) {
+                hot.stop();
+                engine.stop();
+            }
+        });
+    }
+    engine.run();
+
+    Result result;
+    result.calls = hot.stats().calls;
+    result.fallbacks = hot.stats().fallbacks;
+    result.meanLatency = latencies.mean();
+    return result;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Ablation: HotCall timeout fallback under responder "
+                "contention\n");
+    std::printf("(each requester issues 500 calls of ~2k cycles "
+                "service time)\n\n");
+
+    TextTable table({"requesters", "timeout tries", "hot calls",
+                     "fallbacks", "fallback %", "mean latency"});
+    for (int requesters : {1, 2, 4, 6}) {
+        for (int tries : {2, 10, 50}) {
+            const Result r = runContention(requesters, tries, 2'000);
+            const double total =
+                static_cast<double>(r.calls + r.fallbacks);
+            table.addRow(
+                {std::to_string(requesters), std::to_string(tries),
+                 std::to_string(r.calls),
+                 std::to_string(r.fallbacks),
+                 TextTable::num(
+                     static_cast<double>(r.fallbacks) / total * 100,
+                     1) +
+                     "%",
+                 TextTable::cycles(r.meanLatency)});
+        }
+    }
+    table.print();
+    std::printf("\nwith one requester the timeout never expires "
+                "(paper's observation); under\noversubscription a "
+                "small timeout sheds load to the SDK path, trading "
+                "per-call\nlatency for bounded worst-case wait\n");
+    return 0;
+}

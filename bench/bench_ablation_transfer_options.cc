@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation (paper §3.5 "Selecting the right transfer method" and
+ * "Opting for user_check"): for a 2 KiB output buffer, compare the
+ * `out` option against the `in&out` workaround (paper: saves
+ * 885/1,617 cycles for ecalls/ocalls) and against `user_check`
+ * zero-copy (paper: saves ~3,000 cycles).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+const char *kEdl = R"(
+    enclave {
+        trusted {
+            public void e_out([out, size=len] uint8_t* b, size_t len);
+            public void e_inout([in, out, size=len] uint8_t* b,
+                                size_t len);
+            public void e_check([user_check] void* b);
+        };
+        untrusted {
+            void o_from([out, size=len] uint8_t* b, size_t len);
+            void o_tofrom([in, out, size=len] uint8_t* b, size_t len);
+            void o_check([user_check] void* b);
+        };
+    };
+)";
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto config = parseMeasureConfig(argc, argv, 5'000);
+    mem::MachineConfig machine_config;
+    machine_config.engine.numCores = 8;
+    machine_config.engine.seed = 42;
+    mem::Machine machine(machine_config);
+    sgx::SgxPlatform platform(machine);
+    sdk::EnclaveRuntime rt(platform, "ablation", kEdl);
+    for (const char *name : {"e_out", "e_inout", "e_check"})
+        rt.registerEcall(name, [](edl::StagedCall &) {});
+    for (const char *name : {"o_from", "o_tofrom", "o_check"})
+        rt.registerOcall(name, [](edl::StagedCall &) {});
+
+    constexpr std::uint64_t kSize = 2048;
+    double e_out = 0, e_inout = 0, e_check = 0;
+    double o_from = 0, o_tofrom = 0, o_check = 0;
+
+    machine.engine().spawn("driver", 0, [&] {
+        mem::Buffer ubuf(machine, mem::Domain::Untrusted, kSize);
+        const edl::Args two = {edl::Arg::buffer(ubuf),
+                               edl::Arg::value(kSize)};
+        const edl::Args one = {edl::Arg::buffer(ubuf)};
+        auto median = [&](auto op) {
+            return measure::measureOp(platform, op, config)
+                .samples.median();
+        };
+        e_out = median([&] { rt.ecall("e_out", two); });
+        e_inout = median([&] { rt.ecall("e_inout", two); });
+        e_check = median([&] { rt.ecall("e_check", one); });
+
+        // Ocalls issue from inside; park once and measure there.
+        sgx::Tcs *tcs = rt.enclave().acquireTcs();
+        platform.eenter(rt.enclave(), *tcs);
+        mem::Buffer ebuf(machine, mem::Domain::Epc, kSize);
+        const edl::Args etwo = {edl::Arg::buffer(ebuf),
+                                edl::Arg::value(kSize)};
+        const edl::Args eone = {edl::Arg::buffer(ebuf)};
+        auto omedian = [&](auto op) {
+            return measure::measureOracleOp(platform, op, config)
+                .samples.median();
+        };
+        o_from = omedian([&] { rt.ocall("o_from", etwo); });
+        o_tofrom = omedian([&] { rt.ocall("o_tofrom", etwo); });
+        o_check = omedian([&] { rt.ocall("o_check", eone); });
+        platform.eexit();
+    });
+    machine.engine().run();
+
+    std::printf("Ablation: buffer-transfer strategy for a 2 KiB "
+                "output buffer\n");
+    TextTable table({"strategy", "ecall cycles", "ocall cycles",
+                     "ecall saved vs out", "ocall saved vs out"});
+    table.addRow({"out (zero + copy back)", TextTable::cycles(e_out),
+                  TextTable::cycles(o_from), "-", "-"});
+    table.addRow({"in&out (redundant copy in)",
+                  TextTable::cycles(e_inout),
+                  TextTable::cycles(o_tofrom),
+                  TextTable::cycles(e_out - e_inout),
+                  TextTable::cycles(o_from - o_tofrom)});
+    table.addRow({"user_check (zero copy)",
+                  TextTable::cycles(e_check),
+                  TextTable::cycles(o_check),
+                  TextTable::cycles(e_out - e_check),
+                  TextTable::cycles(o_from - o_check)});
+    table.print();
+    std::printf("paper: in&out saves 885 (ecall) / 1,617 (ocall); "
+                "user_check saves ~3,000 cycles\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction bench binaries.
+ *
+ * Each bench binary reconstructs one table or figure of the paper.
+ * This header provides the simulated test machine (the paper's
+ * i7-6700K: 8 logical cores at 4 GHz, 8 MiB LLC, 93 MiB EPC), the
+ * microbenchmark EDL, and small reporting helpers. Pass --runs=N to
+ * scale the per-batch run count (paper default: 10 x 20,000).
+ */
+
+#ifndef HC_BENCH_BENCH_COMMON_HH
+#define HC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "hotcalls/hotcall.hh"
+#include "measure/measure.hh"
+#include "mem/buffer.hh"
+#include "mem/machine.hh"
+#include "sdk/runtime.hh"
+#include "sgx/platform.hh"
+#include "support/table.hh"
+
+namespace hc::bench {
+
+/** EDL used by the microbenchmark suite (Table 1, Figs 2-5). */
+inline const char *kMicrobenchEdl = R"EDL(
+enclave {
+    trusted {
+        public void ecall_empty();
+        public void ecall_buf_in([in, size=len] uint8_t* buf,
+                                 size_t len);
+        public void ecall_buf_out([out, size=len] uint8_t* buf,
+                                  size_t len);
+        public void ecall_buf_inout([in, out, size=len] uint8_t* buf,
+                                    size_t len);
+        public void ecall_run_bench(uint64_t which);
+    };
+    untrusted {
+        void ocall_empty();
+        void ocall_buf_to([in, size=len] uint8_t* buf, size_t len);
+        void ocall_buf_from([out, size=len] uint8_t* buf, size_t len);
+        void ocall_buf_tofrom([in, out, size=len] uint8_t* buf,
+                              size_t len);
+    };
+};
+)EDL";
+
+/** The simulated paper machine plus a microbenchmark enclave. */
+struct TestBed {
+    std::unique_ptr<mem::Machine> machine;
+    std::unique_ptr<sgx::SgxPlatform> platform;
+    std::unique_ptr<sdk::EnclaveRuntime> runtime;
+    /** Body invoked inside the enclave by ecall_run_bench. */
+    std::function<void()> inEnclaveBody;
+
+    /**
+     * @param with_interrupts  arm the OS-timer/AEX model
+     * @param options          marshalling options
+     */
+    explicit TestBed(bool with_interrupts = true,
+                     edl::MarshalOptions options = {},
+                     std::uint64_t seed = 42)
+    {
+        mem::MachineConfig config;
+        config.engine.numCores = 8;
+        config.engine.seed = seed;
+        // One OS tick every ~7M cycles reproduces the paper's ~200-300
+        // AEX events per 200,000 enclave-bound measurements.
+        config.engine.interruptMeanCycles =
+            with_interrupts ? 7'000'000 : 0;
+        machine = std::make_unique<mem::Machine>(config);
+        platform = std::make_unique<sgx::SgxPlatform>(*machine);
+        platform->installAexHandler();
+        runtime = std::make_unique<sdk::EnclaveRuntime>(
+            *platform, "microbench", kMicrobenchEdl, 4, options);
+
+        runtime->registerEcall("ecall_empty",
+                               [](edl::StagedCall &) {});
+        runtime->registerEcall("ecall_buf_in",
+                               [](edl::StagedCall &) {});
+        runtime->registerEcall("ecall_buf_out",
+                               [](edl::StagedCall &) {});
+        runtime->registerEcall("ecall_buf_inout",
+                               [](edl::StagedCall &) {});
+        runtime->registerEcall("ecall_run_bench",
+                               [this](edl::StagedCall &) {
+                                   if (inEnclaveBody)
+                                       inEnclaveBody();
+                               });
+        runtime->registerOcall("ocall_empty",
+                               [](edl::StagedCall &) {});
+        runtime->registerOcall("ocall_buf_to",
+                               [](edl::StagedCall &) {});
+        runtime->registerOcall("ocall_buf_from",
+                               [](edl::StagedCall &) {});
+        runtime->registerOcall("ocall_buf_tofrom",
+                               [](edl::StagedCall &) {});
+    }
+
+    /** Run @p body inside the enclave via ecall_run_bench. */
+    void runInEnclave(std::function<void()> body)
+    {
+        inEnclaveBody = std::move(body);
+        runtime->ecall("ecall_run_bench", {edl::Arg::value(0)});
+        inEnclaveBody = nullptr;
+    }
+};
+
+/** Parse --runs=N (per batch); defaults to the paper's 20,000. */
+inline measure::MeasureConfig
+parseMeasureConfig(int argc, char **argv, int default_runs = 20'000)
+{
+    measure::MeasureConfig config;
+    config.runsPerBatch = default_runs;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--runs=", 7) == 0)
+            config.runsPerBatch = std::atoi(argv[i] + 7);
+    }
+    if (config.runsPerBatch < 1)
+        config.runsPerBatch = 1;
+    return config;
+}
+
+/** Percent difference of measured vs paper. */
+inline std::string
+deltaPercent(double measured, double paper)
+{
+    if (paper == 0)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                  (measured - paper) / paper * 100.0);
+    return buf;
+}
+
+} // namespace hc::bench
+
+#endif // HC_BENCH_BENCH_COMMON_HH

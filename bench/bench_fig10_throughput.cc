@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Figure 10: application throughput of memcached, openVPN
+ * and lighttpd, normalized to non-SGX execution, in four
+ * configurations (native, straightforward SGX port, +HotCalls,
+ * +No-Redundant-Zeroing).
+ *
+ * Paper absolute anchors:
+ *   memcached: 316,500 -> 66,500 -> 162,000 -> 185,000 req/s
+ *   openVPN:       866 ->    309 ->     694 ->     823 Mbit/s
+ *   lighttpd:   53,400 -> 12,100 ->  40,400 ->  44,800 pages/s
+ */
+
+#include <cstring>
+
+#include "bench/app_bench.hh"
+#include "support/table.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+struct AppSpec {
+    const char *name;
+    const char *unit;
+    AppRunResult (*run)(const AppRunConfig &);
+    double paper[4];
+};
+
+double
+parseMeasureSec(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--seconds=", 10) == 0)
+            return std::atof(argv[i] + 10);
+    return 0.25;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const double seconds = parseMeasureSec(argc, argv);
+    const AppSpec apps[] = {
+        {"memcached", "req/s", &runKvCache,
+         {316'500, 66'500, 162'000, 185'000}},
+        {"openVPN", "Mbit/s", &runVpnIperf, {866, 309, 694, 823}},
+        {"lighttpd", "pages/s", &runHttpd,
+         {53'400, 12'100, 40'400, 44'800}},
+    };
+
+    std::printf("Figure 10: throughput with HotCalls and "
+                "No-Redundant-Zeroing (measure window %.2fs)\n",
+                seconds);
+    const auto configs = standardConfigs(seconds);
+
+    for (const auto &app : apps) {
+        double native = 0;
+        double paper_native = app.paper[0];
+        TextTable table({"config", std::string("measured ") + app.unit,
+                         "normalized", "paper", "paper normalized"});
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const AppRunResult result = app.run(configs[i]);
+            if (i == 0)
+                native = result.throughput;
+            table.addRow(
+                {configLabel(configs[i]),
+                 TextTable::num(result.throughput, 0),
+                 TextTable::num(result.throughput / native * 100, 1) +
+                     "%",
+                 TextTable::num(app.paper[i], 0),
+                 TextTable::num(app.paper[i] / paper_native * 100,
+                                1) +
+                     "%"});
+            if (result.integrityErrors > 0) {
+                std::printf("WARNING: %llu integrity errors in %s\n",
+                            static_cast<unsigned long long>(
+                                result.integrityErrors),
+                            app.name);
+            }
+        }
+        std::printf("\n%s:\n", app.name);
+        table.print();
+    }
+    return 0;
+}

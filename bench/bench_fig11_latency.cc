@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 11: application response latency with HotCalls
+ * and No-Redundant-Zeroing.
+ *
+ * Paper anchors (native -> sgx -> +hotcalls -> +nrz):
+ *   memcached response: 0.63 -> 2.97 -> 1.23 -> 1.08 ms
+ *   openVPN ping RTT:   1.427 -> 4.579 -> 1.873 -> 1.747 ms
+ *   lighttpd response:  1.52 -> 8.25 -> 2.40 -> 2.13 ms
+ */
+
+#include <cstring>
+
+#include "bench/app_bench.hh"
+#include "support/table.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+int
+main(int argc, char **argv)
+{
+    double seconds = 0.25;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--seconds=", 10) == 0)
+            seconds = std::atof(argv[i] + 10);
+
+    struct AppSpec {
+        const char *name;
+        AppRunResult (*run)(const AppRunConfig &);
+        double paper[4];
+    };
+    const AppSpec apps[] = {
+        {"memcached (avg response)", &runKvCache,
+         {0.63, 2.97, 1.23, 1.08}},
+        {"openVPN (avg ping RTT)", &runVpnPing,
+         {1.427, 4.579, 1.873, 1.747}},
+        {"lighttpd (avg response)", &runHttpd,
+         {1.52, 8.25, 2.40, 2.13}},
+    };
+
+    std::printf("Figure 11: latency with HotCalls and "
+                "No-Redundant-Zeroing (ms)\n");
+    const auto configs = standardConfigs(seconds);
+    for (const auto &app : apps) {
+        TextTable table({"config", "measured ms", "paper ms",
+                         "reduction vs sgx", "paper reduction"});
+        double sgx_latency = 0;
+        std::vector<double> measured;
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const AppRunResult result = app.run(configs[i]);
+            measured.push_back(result.latencyMs);
+            if (i == 1)
+                sgx_latency = result.latencyMs;
+        }
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            std::string cut = "-";
+            std::string paper_cut = "-";
+            if (i >= 2) {
+                cut = TextTable::num(
+                          (1 - measured[i] / sgx_latency) * 100, 0) +
+                      "%";
+                paper_cut =
+                    TextTable::num(
+                        (1 - app.paper[i] / app.paper[1]) * 100, 0) +
+                    "%";
+            }
+            table.addRow({configLabel(configs[i]),
+                          TextTable::num(measured[i], 3),
+                          TextTable::num(app.paper[i], 3), cut,
+                          paper_cut});
+        }
+        std::printf("\n%s:\n", app.name);
+        table.print();
+    }
+    return 0;
+}

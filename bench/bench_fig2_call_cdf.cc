@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Figure 2: CDFs of ecall and ocall latency with warm and
+ * cold caches. The paper's checkpoints:
+ *  - warm ecalls: 99.9% complete in 8,600-8,680 cycles
+ *  - cold ecalls: 99.9% complete in 12,500-17,000 cycles
+ *  - warm ocalls: 99.9% complete in 8,200-8,400 cycles
+ *  - cold ocalls: 99.9% complete in 12,500-17,000 cycles
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+void
+printCdf(const char *name, const SampleSet &samples)
+{
+    std::printf("\n%s CDF (%zu samples): %s\n", name, samples.count(),
+                samples.summary().c_str());
+    std::printf("  %10s  %8s\n", "cycles", "CDF");
+    for (double p :
+         {0.1, 1.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0, 99.9, 99.97}) {
+        std::printf("  %10.0f  %7.2f%%\n", samples.percentile(p), p);
+    }
+}
+
+void
+checkpoint(const char *what, bool ok)
+{
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISS", what);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto config = parseMeasureConfig(argc, argv);
+    TestBed bed;
+    auto &machine = *bed.machine;
+    auto &platform = *bed.platform;
+    auto &rt = *bed.runtime;
+
+    measure::MeasureResult ecall_warm, ecall_cold, ocall_warm,
+        ocall_cold;
+
+    machine.engine().spawn("driver", 0, [&] {
+        const int empty_ecall = rt.ecallId("ecall_empty");
+        const int empty_ocall = rt.ocallId("ocall_empty");
+
+        ecall_warm = measure::measureOp(
+            platform, [&] { rt.ecall(empty_ecall, {}); }, config);
+        ecall_cold = measure::measureOp(
+            platform, [&] { rt.ecall(empty_ecall, {}); }, config,
+            [&] { machine.memory().evictAll(); });
+        bed.runInEnclave([&] {
+            ocall_warm = measure::measureOracleOp(
+                platform, [&] { rt.ocall(empty_ocall, {}); }, config);
+            ocall_cold = measure::measureOracleOp(
+                platform, [&] { rt.ocall(empty_ocall, {}); }, config,
+                [&] { machine.memory().evictAll(); });
+        });
+    });
+    machine.engine().run();
+
+    std::printf("Figure 2: CDFs of ecall/ocall performance\n");
+    printCdf("2a ecall warm", ecall_warm.samples);
+    checkpoint("99.9% of warm ecalls within 8,600-8,680 (paper)",
+               ecall_warm.samples.percentile(0.05) >= 8'550 &&
+                   ecall_warm.samples.percentile(99.9) <= 8'730);
+    printCdf("2a ecall cold", ecall_cold.samples);
+    checkpoint("99.9% of cold ecalls within 12,500-17,000 (paper)",
+               ecall_cold.samples.percentile(0.05) >= 12'300 &&
+                   ecall_cold.samples.percentile(99.9) <= 17'400);
+    printCdf("2b ocall warm", ocall_warm.samples);
+    checkpoint("99.9% of warm ocalls within 8,200-8,400 (paper)",
+               ocall_warm.samples.percentile(0.05) >= 8'150 &&
+                   ocall_warm.samples.percentile(99.9) <= 8'450);
+    printCdf("2b ocall cold", ocall_cold.samples);
+    checkpoint("99.9% of cold ocalls within 12,500-17,000 (paper)",
+               ocall_cold.samples.percentile(0.05) >= 12'300 &&
+                   ocall_cold.samples.percentile(99.9) <= 17'400);
+    return 0;
+}

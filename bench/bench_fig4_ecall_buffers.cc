@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Figure 4: latency of an ecall + transferring a buffer
+ * in / out / in&out, across buffer sizes. The paper's anchors are the
+ * 2 KiB points of Table 1 row 3 (9,861 / 11,172 / 10,827 cycles) and
+ * the observation that `out` is the most expensive option due to the
+ * SDK's byte-wise memset.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto config = parseMeasureConfig(argc, argv, 5'000);
+    TestBed bed;
+    auto &machine = *bed.machine;
+    auto &platform = *bed.platform;
+    auto &rt = *bed.runtime;
+
+    const std::vector<std::uint64_t> sizes = {64,   256,  1024, 2048,
+                                              4096, 8192, 16384};
+    struct Point {
+        std::uint64_t size;
+        double in, out, inout;
+    };
+    std::vector<Point> points;
+
+    machine.engine().spawn("driver", 0, [&] {
+        for (std::uint64_t size : sizes) {
+            mem::Buffer buf(machine, mem::Domain::Untrusted, size);
+            const edl::Args args = {edl::Arg::buffer(buf),
+                                    edl::Arg::value(size)};
+            Point p;
+            p.size = size;
+            p.in = measure::measureOp(
+                       platform,
+                       [&] { rt.ecall("ecall_buf_in", args); }, config)
+                       .samples.median();
+            p.out = measure::measureOp(
+                        platform,
+                        [&] { rt.ecall("ecall_buf_out", args); },
+                        config)
+                        .samples.median();
+            p.inout = measure::measureOp(
+                          platform,
+                          [&] { rt.ecall("ecall_buf_inout", args); },
+                          config)
+                          .samples.median();
+            points.push_back(p);
+        }
+    });
+    machine.engine().run();
+
+    std::printf("Figure 4: ecall + buffer transfer latency "
+                "(median cycles)\n");
+    TextTable table({"Buffer size", "in", "out", "in&out",
+                     "paper 2KB (in/out/in&out)"});
+    for (const auto &p : points) {
+        table.addRow(
+            {std::to_string(p.size) + " B", TextTable::cycles(p.in),
+             TextTable::cycles(p.out), TextTable::cycles(p.inout),
+             p.size == 2048 ? "9,861 / 11,172 / 10,827" : ""});
+    }
+    table.print();
+    std::printf("shape checks: out > in&out > in at every size "
+                "(byte-wise memset penalty): %s\n",
+                [&] {
+                    for (const auto &p : points)
+                        if (!(p.out > p.inout && p.inout > p.in))
+                            return "FAILED";
+                    return "ok";
+                }());
+    return 0;
+}

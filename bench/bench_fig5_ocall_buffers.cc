@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 5: latency of an ocall + transferring a buffer
+ * to / from / to&from untrusted memory, across buffer sizes. Anchors:
+ * the 2 KiB points of Table 1 row 6 (9,252 / 11,418 / 9,801) and the
+ * paper's observation that `from` (the SDK `out` option) is the most
+ * expensive due to redundant zeroing of the untrusted buffer.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto config = parseMeasureConfig(argc, argv, 5'000);
+    TestBed bed;
+    auto &machine = *bed.machine;
+    auto &platform = *bed.platform;
+    auto &rt = *bed.runtime;
+
+    const std::vector<std::uint64_t> sizes = {64,   256,  1024, 2048,
+                                              4096, 8192, 16384};
+    struct Point {
+        std::uint64_t size;
+        double to, from, tofrom;
+    };
+    std::vector<Point> points;
+
+    machine.engine().spawn("driver", 0, [&] {
+        for (std::uint64_t size : sizes) {
+            mem::Buffer buf(machine, mem::Domain::Epc, size);
+            const edl::Args args = {edl::Arg::buffer(buf),
+                                    edl::Arg::value(size)};
+            Point p;
+            p.size = size;
+            bed.runInEnclave([&] {
+                p.to = measure::measureOracleOp(
+                           platform,
+                           [&] { rt.ocall("ocall_buf_to", args); },
+                           config)
+                           .samples.median();
+                p.from = measure::measureOracleOp(
+                             platform,
+                             [&] { rt.ocall("ocall_buf_from", args); },
+                             config)
+                             .samples.median();
+                p.tofrom =
+                    measure::measureOracleOp(
+                        platform,
+                        [&] { rt.ocall("ocall_buf_tofrom", args); },
+                        config)
+                        .samples.median();
+            });
+            points.push_back(p);
+        }
+    });
+    machine.engine().run();
+
+    std::printf("Figure 5: ocall + buffer transfer latency "
+                "(median cycles)\n");
+    TextTable table({"Buffer size", "to", "from", "to&from",
+                     "paper 2KB (to/from/to&from)"});
+    for (const auto &p : points) {
+        table.addRow(
+            {std::to_string(p.size) + " B", TextTable::cycles(p.to),
+             TextTable::cycles(p.from), TextTable::cycles(p.tofrom),
+             p.size == 2048 ? "9,252 / 11,418 / 9,801" : ""});
+    }
+    table.print();
+    std::printf("shape checks: from > to&from > to at every size "
+                "(redundant-zeroing penalty): %s\n",
+                [&] {
+                    for (const auto &p : points)
+                        if (!(p.from > p.tofrom && p.tofrom > p.to))
+                            return "FAILED";
+                    return "ok";
+                }());
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces Figure 8: the overhead of memory encryption, normalized
+ * encrypted/plaintext, for the memory microbenchmarks and the
+ * SPEC-2006-like kernels.
+ *
+ * Paper anchors: L 2KB 1.55x, S 2KB 1.06x, load miss 1.30x, store
+ * miss 1.20x, mcf 1.55x, libquantum 5.2x, astar mildly above 1x.
+ * (libquantum's 96 MiB working set exceeds the 93 MiB EPC and pays
+ * EWB/ELDU paging on every sweep.)
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/spec.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+double
+ratioOf(Cycles enc, Cycles plain)
+{
+    return static_cast<double>(enc) / static_cast<double>(plain);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto config = parseMeasureConfig(argc, argv, 2'000);
+    TestBed bed(/*with_interrupts=*/false);
+    auto &machine = *bed.machine;
+    auto &platform = *bed.platform;
+
+    struct Row {
+        std::string name;
+        double paper;
+        double measured = 0;
+    };
+    std::vector<Row> rows = {
+        {"L 2KB (seq read)", 1.55},   {"S 2KB (seq write)", 1.06},
+        {"load miss", 1.30},          {"store miss", 1.20},
+        {"mcf", 1.55},                {"libquantum", 5.2},
+        {"astar", 1.15},
+    };
+
+    machine.engine().spawn("driver", 0, [&] {
+        bed.runInEnclave([&] {
+            // Microbenchmark ratios (as in Table 1 rows 7-10).
+            mem::Buffer enc(machine, mem::Domain::Epc, 2048);
+            mem::Buffer plain(machine, mem::Domain::Untrusted, 2048);
+            auto median = [&](auto op, auto setup) {
+                return measure::measureOracleOp(platform, op, config,
+                                                setup)
+                    .samples.median();
+            };
+            rows[0].measured =
+                median([&] { enc.read(); }, [&] { enc.evict(); }) /
+                median([&] { plain.read(); }, [&] { plain.evict(); });
+            rows[1].measured =
+                median([&] { enc.write(true); },
+                       [&] { enc.evict(); }) /
+                median([&] { plain.write(true); },
+                       [&] { plain.evict(); });
+            auto &memory = machine.memory();
+            rows[2].measured =
+                median([&] { memory.accessWord(enc.addr(), false); },
+                       [&] { memory.evictRange(enc.addr(), 64); }) /
+                median(
+                    [&] { memory.accessWord(plain.addr(), false); },
+                    [&] { memory.evictRange(plain.addr(), 64); });
+            rows[3].measured =
+                median([&] { memory.accessWord(enc.addr(), true); },
+                       [&] { memory.evictRange(enc.addr(), 64); }) /
+                median([&] { memory.accessWord(plain.addr(), true); },
+                       [&] { memory.evictRange(plain.addr(), 64); });
+
+            // SPEC-like kernels, encrypted vs plaintext placement.
+            workloads::SpecConfig spec;
+            machine.memory().evictAll();
+            const Cycles mcf_enc =
+                workloads::runMcf(machine, mem::Domain::Epc, spec);
+            machine.memory().evictAll();
+            const Cycles mcf_plain = workloads::runMcf(
+                machine, mem::Domain::Untrusted, spec);
+            rows[4].measured = ratioOf(mcf_enc, mcf_plain);
+
+            machine.memory().evictAll();
+            const Cycles libq_enc = workloads::runLibquantum(
+                machine, mem::Domain::Epc, spec);
+            machine.memory().evictAll();
+            const Cycles libq_plain = workloads::runLibquantum(
+                machine, mem::Domain::Untrusted, spec);
+            rows[5].measured = ratioOf(libq_enc, libq_plain);
+
+            machine.memory().evictAll();
+            const Cycles astar_enc =
+                workloads::runAstar(machine, mem::Domain::Epc, spec);
+            machine.memory().evictAll();
+            const Cycles astar_plain = workloads::runAstar(
+                machine, mem::Domain::Untrusted, spec);
+            rows[6].measured = ratioOf(astar_enc, astar_plain);
+        });
+    });
+    machine.engine().run();
+
+    std::printf("Figure 8: memory-encryption overhead "
+                "(encrypted / plaintext)\n");
+    TextTable table({"Benchmark", "Measured", "Paper"});
+    for (const auto &row : rows) {
+        table.addRow({row.name, TextTable::num(row.measured, 2) + "x",
+                      TextTable::num(row.paper, 2) + "x"});
+    }
+    table.print();
+    std::printf("EPC paging during libquantum: %llu faults, "
+                "%llu evictions (working set 96 MiB > 93 MiB EPC)\n",
+                static_cast<unsigned long long>(
+                    bed.platform->epc().faults()),
+                static_cast<unsigned long long>(
+                    bed.platform->epc().evictions()));
+    return 0;
+}

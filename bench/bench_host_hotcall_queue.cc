@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Host-level micro-performance of the library's own primitives,
+ * using google-benchmark. These measure the *simulator's* execution
+ * speed on the host machine (how fast the models run), complementing
+ * the virtual-cycle results the paper benches report.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/chacha20.hh"
+#include "crypto/sha256.hh"
+#include "edl/parser.hh"
+#include "hotcalls/hotcall.hh"
+#include "mem/cache.hh"
+#include "mem/machine.hh"
+#include "sdk/runtime.hh"
+#include "sim/engine.hh"
+#include "support/hash.hh"
+#include "support/rng.hh"
+
+using namespace hc;
+
+// ----------------------------------------------------------------------
+// Support primitives.
+// ----------------------------------------------------------------------
+
+static void
+BM_Rng(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Rng);
+
+static void
+BM_FastHash64(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(state.range(0)), 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            fastHash64(data.data(), data.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_FastHash64)->Arg(64)->Arg(4096);
+
+// ----------------------------------------------------------------------
+// Crypto.
+// ----------------------------------------------------------------------
+
+static void
+BM_Sha256(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(state.range(0)), 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            crypto::Sha256::digest(data.data(), data.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+static void
+BM_AeadSeal(benchmark::State &state)
+{
+    crypto::ChaChaKey key{};
+    crypto::ChaChaNonce nonce{};
+    std::vector<std::uint8_t> pt(
+        static_cast<std::size_t>(state.range(0)), 3);
+    std::vector<std::uint8_t> ct(pt.size());
+    crypto::PolyTag tag;
+    for (auto _ : state) {
+        crypto::aeadSeal(key, nonce, nullptr, 0, pt.data(),
+                         pt.size(), ct.data(), &tag);
+        benchmark::DoNotOptimize(tag);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(1460)->Arg(8192);
+
+// ----------------------------------------------------------------------
+// Simulation engine.
+// ----------------------------------------------------------------------
+
+static void
+BM_FiberSwitch(benchmark::State &state)
+{
+    // Two same-core fibers ping-ponging on yield: each benchmark
+    // iteration runs a fresh engine through 100k context switches.
+    constexpr std::uint64_t kSwitches = 100'000;
+    for (auto _ : state) {
+        sim::Engine engine;
+        std::uint64_t iterations = 0;
+        auto body = [&] {
+            while (iterations < kSwitches) {
+                ++iterations;
+                engine.yield();
+            }
+        };
+        engine.spawn("a", 0, body);
+        engine.spawn("b", 0, body);
+        engine.run();
+        benchmark::DoNotOptimize(iterations);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kSwitches));
+}
+BENCHMARK(BM_FiberSwitch);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheModel cache(8_MiB, 16);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(0, rng.next() & 0xffffff, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_EdlParse(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(edl::parseEdl(R"(
+            enclave {
+                trusted {
+                    public void f([in, size=n] uint8_t* b, size_t n);
+                };
+                untrusted {
+                    int64_t g([out, count=k] int* v, size_t k);
+                };
+            };
+        )"));
+    }
+}
+BENCHMARK(BM_EdlParse);
+
+// ----------------------------------------------------------------------
+// End-to-end simulated calls (host seconds per simulated call).
+// ----------------------------------------------------------------------
+
+namespace {
+
+const char *kBenchEdl = R"(
+    enclave {
+        trusted { public void ecall_empty(); };
+        untrusted { void ocall_empty(); };
+    };
+)";
+
+} // anonymous namespace
+
+static void
+BM_SimulatedSdkEcall(benchmark::State &state)
+{
+    // Host cost of simulating one full SDK ecall round trip; each
+    // benchmark iteration drives 1,000 simulated calls.
+    constexpr int kCalls = 1'000;
+    for (auto _ : state) {
+        mem::Machine machine;
+        sgx::SgxPlatform platform(machine);
+        sdk::EnclaveRuntime runtime(platform, "bench", kBenchEdl);
+        runtime.registerEcall("ecall_empty",
+                              [](edl::StagedCall &) {});
+        machine.engine().spawn("driver", 0, [&] {
+            for (int i = 0; i < kCalls; ++i)
+                runtime.ecall("ecall_empty", {});
+        });
+        machine.engine().run();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kCalls);
+}
+BENCHMARK(BM_SimulatedSdkEcall);
+
+BENCHMARK_MAIN();

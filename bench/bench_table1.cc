@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Reproduces Table 1: the ten microbenchmarks of fundamental SGX
+ * operations (median cycles). Also reports the AEX-discard counts the
+ * paper's Section 3.1 methodology produces (~200-300 per 200,000).
+ */
+
+#include "bench/bench_common.hh"
+
+namespace {
+
+using namespace hc;
+using namespace hc::bench;
+
+struct Row {
+    std::string name;
+    double paper;
+    double measured;
+    std::uint64_t aex;
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto config = parseMeasureConfig(argc, argv);
+    TestBed bed;
+    auto &machine = *bed.machine;
+    auto &platform = *bed.platform;
+    auto &rt = *bed.runtime;
+
+    std::vector<Row> rows;
+    std::uint64_t total_runs = 0;
+
+    machine.engine().spawn("driver", 0, [&] {
+        auto add = [&](const std::string &name, double paper,
+                       const measure::MeasureResult &r) {
+            rows.push_back({name, paper, r.samples.median(),
+                            r.discardedAex});
+            total_runs += r.samples.count() + r.discardedAex;
+        };
+
+        const int empty_ecall = rt.ecallId("ecall_empty");
+        mem::Buffer ubuf(machine, mem::Domain::Untrusted, 2048);
+
+        // 1: Ecall (warm cache).
+        add("1 Ecall (warm)", 8'640,
+            measure::measureOp(
+                platform, [&] { rt.ecall(empty_ecall, {}); }, config));
+
+        // 2: Ecall (cold cache): flush the whole LLC before each run.
+        add("2 Ecall (cold)", 14'170,
+            measure::measureOp(
+                platform, [&] { rt.ecall(empty_ecall, {}); }, config,
+                [&] { machine.memory().evictAll(); }));
+
+        // 3: Ecall + 2 KiB buffer in / out / in&out.
+        const edl::Args buf_args = {edl::Arg::buffer(ubuf),
+                                    edl::Arg::value(2048)};
+        add("3 Ecall 2KB in", 9'861,
+            measure::measureOp(
+                platform,
+                [&] { rt.ecall("ecall_buf_in", buf_args); }, config));
+        add("3 Ecall 2KB out", 11'172,
+            measure::measureOp(
+                platform,
+                [&] { rt.ecall("ecall_buf_out", buf_args); }, config));
+        add("3 Ecall 2KB in&out", 10'827,
+            measure::measureOp(
+                platform,
+                [&] { rt.ecall("ecall_buf_inout", buf_args); },
+                config));
+
+        // 4/5: Ocall warm/cold, measured across the ocall round trip
+        // from inside the enclave.
+        const int empty_ocall = rt.ocallId("ocall_empty");
+        measure::MeasureResult r_ocall_warm, r_ocall_cold;
+        bed.runInEnclave([&] {
+            r_ocall_warm = measure::measureOracleOp(
+                platform, [&] { rt.ocall(empty_ocall, {}); }, config);
+            r_ocall_cold = measure::measureOracleOp(
+                platform, [&] { rt.ocall(empty_ocall, {}); }, config,
+                [&] { machine.memory().evictAll(); });
+        });
+        add("4 Ocall (warm)", 8'314, r_ocall_warm);
+        add("5 Ocall (cold)", 14'160, r_ocall_cold);
+
+        // 6: Ocall + 2 KiB buffer to / from / to&from (the buffer
+        // lives in enclave memory; directions per Section 3.3).
+        mem::Buffer ebuf(machine, mem::Domain::Epc, 2048);
+        const edl::Args ebuf_args = {edl::Arg::buffer(ebuf),
+                                     edl::Arg::value(2048)};
+        measure::MeasureResult r_to, r_from, r_tofrom;
+        bed.runInEnclave([&] {
+            r_to = measure::measureOracleOp(
+                platform,
+                [&] { rt.ocall("ocall_buf_to", ebuf_args); }, config);
+            r_from = measure::measureOracleOp(
+                platform,
+                [&] { rt.ocall("ocall_buf_from", ebuf_args); },
+                config);
+            r_tofrom = measure::measureOracleOp(
+                platform,
+                [&] { rt.ocall("ocall_buf_tofrom", ebuf_args); },
+                config);
+        });
+        add("6 Ocall 2KB to", 9'252, r_to);
+        add("6 Ocall 2KB from", 11'418, r_from);
+        add("6 Ocall 2KB to&from", 9'801, r_tofrom);
+
+        // 7/8: consecutive 2 KiB reads/writes, encrypted vs plain,
+        // buffers evicted before every measurement.
+        mem::Buffer enc(machine, mem::Domain::Epc, 2048);
+        mem::Buffer plain(machine, mem::Domain::Untrusted, 2048);
+        measure::MeasureResult r7e, r7p, r8e, r8p, r9e, r9p, r10e,
+            r10p;
+        bed.runInEnclave([&] {
+            r7e = measure::measureOracleOp(
+                platform, [&] { enc.read(); }, config,
+                [&] { enc.evict(); });
+            r7p = measure::measureOracleOp(
+                platform, [&] { plain.read(); }, config,
+                [&] { plain.evict(); });
+            r8e = measure::measureOracleOp(
+                platform, [&] { enc.write(true); }, config,
+                [&] { enc.evict(); });
+            r8p = measure::measureOracleOp(
+                platform, [&] { plain.write(true); }, config,
+                [&] { plain.evict(); });
+
+            // 9/10: single cache-line load/store misses.
+            auto &memory = machine.memory();
+            r9e = measure::measureOracleOp(
+                platform,
+                [&] { memory.accessWord(enc.addr(), false); }, config,
+                [&] { memory.evictRange(enc.addr(), 64); });
+            r9p = measure::measureOracleOp(
+                platform,
+                [&] { memory.accessWord(plain.addr(), false); },
+                config,
+                [&] { memory.evictRange(plain.addr(), 64); });
+            r10e = measure::measureOracleOp(
+                platform,
+                [&] { memory.accessWord(enc.addr(), true); }, config,
+                [&] { memory.evictRange(enc.addr(), 64); });
+            r10p = measure::measureOracleOp(
+                platform,
+                [&] { memory.accessWord(plain.addr(), true); }, config,
+                [&] { memory.evictRange(plain.addr(), 64); });
+        });
+        add("7 Read 2KB encrypted", 1'124, r7e);
+        add("7 Read 2KB plaintext", 727, r7p);
+        add("8 Write 2KB encrypted", 6'875, r8e);
+        add("8 Write 2KB plaintext", 6'458, r8p);
+        add("9 Load miss encrypted", 400, r9e);
+        add("9 Load miss plaintext", 308, r9p);
+        add("10 Store miss encrypted", 575, r10e);
+        add("10 Store miss plaintext", 481, r10p);
+    });
+    machine.engine().run();
+
+    std::printf("Table 1: microbenchmarks of fundamental SGX "
+                "operations (median cycles)\n");
+    std::printf("batches=%d runs/batch=%d\n", config.batches,
+                config.runsPerBatch);
+    TextTable table({"Microbenchmark", "Paper (median)",
+                     "Measured (median)", "Delta", "AEX discarded"});
+    for (const auto &row : rows) {
+        table.addRow({row.name, TextTable::cycles(row.paper),
+                      TextTable::cycles(row.measured),
+                      deltaPercent(row.measured, row.paper),
+                      std::to_string(row.aex)});
+    }
+    table.print();
+
+    std::uint64_t total_aex = 0;
+    for (const auto &row : rows)
+        total_aex += row.aex;
+    std::printf("total AEX-discarded runs: %llu (paper: ~200-300 per "
+                "200,000 enclave-bound measurements)\n",
+                static_cast<unsigned long long>(total_aex));
+    return 0;
+}

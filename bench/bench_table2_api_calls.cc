@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Table 2: API-call frequencies of the three applications
+ * running (unoptimized) inside an SGX enclave, and the fraction of
+ * core time spent facilitating the calls (N_calls * 8,300 / 4 GHz).
+ *
+ * Paper anchors:
+ *   memcached: read/sendmsg/RunEnclaveFucntion at 66.5k/s each,
+ *              200k total calls/s, 42% core time
+ *   openVPN:   poll 87k, time 87k, getpid 13.6k, write 30k,
+ *              recvfrom 30k, read 13.6k, sendto 13.6k;
+ *              275k total, 57%
+ *   lighttpd:  read 49k, fcntl/epoll_ctl/close/setsockopt/fxstat64
+ *              25k each, 8 more at 12k each; 270k total, 56%
+ */
+
+#include <cstring>
+
+#include "bench/app_bench.hh"
+#include "support/table.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+void
+report(const char *app, const AppRunResult &result,
+       double paper_total_k, double paper_core)
+{
+    std::printf("\n%s (unoptimized SGX port):\n", app);
+    TextTable table({"API call", "calls x1000/s"});
+    // Sort by rate, descending.
+    std::vector<std::pair<std::string, double>> rows(
+        result.callRatesPerSec.begin(), result.callRatesPerSec.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    for (const auto &row : rows) {
+        if (row.second < 500)
+            continue; // the paper lists only the frequent calls
+        table.addRow({row.first, TextTable::num(row.second / 1e3, 1)});
+    }
+    table.print();
+
+    const double core_time = result.totalCallsPerSec * 8'300 /
+                             static_cast<double>(kCoreFreqHz) * 100;
+    std::printf("total calls: %.0fk/s (paper: %.0fk/s)   "
+                "core time facilitating calls: %.0f%% (paper: %.0f%%)\n",
+                result.totalCallsPerSec / 1e3, paper_total_k,
+                core_time, paper_core);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    double seconds = 0.25;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--seconds=", 10) == 0)
+            seconds = std::atof(argv[i] + 10);
+
+    AppRunConfig config;
+    config.mode = port::Mode::Sgx;
+    config.measureSec = seconds;
+
+    std::printf("Table 2: API calls of non-optimized applications "
+                "inside SGX enclaves\n");
+    report("memcached", runKvCache(config), 200, 42);
+    report("openVPN", runVpnIperf(config), 275, 57);
+    report("lighttpd", runHttpd(config), 270, 56);
+    return 0;
+}

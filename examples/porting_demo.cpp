@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Porting walkthrough: the paper's Section 6.1 workflow on a toy
+ * log-shipper application. Shows the "undefined reference" check,
+ * the generated ocall surface, per-call frequency counters (how
+ * Table 2 was produced), and how the choice of buffer direction and
+ * No-Redundant-Zeroing changes the cost of the hottest call.
+ *
+ *   $ ./examples/porting_demo
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "port/port.hh"
+#include "support/table.hh"
+
+using namespace hc;
+
+namespace {
+
+/**
+ * The application being ported: reads records from a file, filters
+ * them, and ships them over a TCP socket. Its external references
+ * are: open, read, fstat, send, close, time.
+ */
+class LogShipper
+{
+  public:
+    explicit LogShipper(port::PortedApp &app) : app_(app) {}
+
+    std::uint64_t
+    ship(const std::string &path, int dest_port)
+    {
+        mem::Buffer buf(app_.machine(), app_.dataDomain(), 4096);
+        const int file = static_cast<int>(app_.open(path));
+        if (file < 0)
+            return 0;
+        std::uint64_t size = 0;
+        app_.fstat(file, &size);
+        const int sock = static_cast<int>(app_.connect(dest_port));
+
+        std::uint64_t shipped = 0;
+        for (;;) {
+            const auto n = app_.read(file, buf, 4096);
+            if (n <= 0)
+                break;
+            // "Filter": drop blank lines (touches every byte).
+            app_.machine().engine().advance(
+                static_cast<Cycles>(n) / 2);
+            app_.send(sock, buf, static_cast<std::uint64_t>(n));
+            shipped += static_cast<std::uint64_t>(n);
+        }
+        app_.time();
+        app_.close(file);
+        app_.close(sock);
+        return shipped;
+    }
+
+  private:
+    port::PortedApp &app_;
+};
+
+Cycles
+runMode(port::Mode mode, bool nrz, bool print_counts)
+{
+    mem::Machine machine;
+    sgx::SgxPlatform platform(machine);
+    os::Kernel kernel(machine);
+
+    port::PortConfig config;
+    config.mode = mode;
+    config.marshal.noRedundantZeroing = nrz;
+    config.hotEcallCore = 1;
+    config.hotOcallCore = 2;
+    port::PortedApp app(platform, kernel, "log-shipper", config);
+
+    // Step 1 of the paper's flow: every external reference must
+    // resolve to a generated ocall wrapper, or the "link" fails.
+    app.declareImports(
+        {"open", "read", "fxstat64", "send", "close", "time"});
+
+    // Test fixture: a log file and a sink server.
+    std::vector<std::uint8_t> log(64 * 1024);
+    for (std::size_t i = 0; i < log.size(); ++i)
+        log[i] = static_cast<std::uint8_t>('a' + i % 26);
+    kernel.addFile("/var/log/app.log", log);
+
+    Cycles elapsed = 0;
+    auto &engine = machine.engine();
+    engine.spawn("sink", 3, [&] {
+        const int listener = kernel.listenTcp(514);
+        std::uint8_t sink_buf[8192];
+        for (;;) {
+            kernel.waitReadable(listener);
+            const int conn = kernel.accept(listener);
+            if (conn < 0)
+                continue;
+            for (;;) {
+                kernel.waitReadable(conn);
+                const auto n =
+                    kernel.recv(conn, sink_buf, sizeof(sink_buf));
+                if (n == 0)
+                    break;
+            }
+        }
+    });
+    engine.spawn("app", 0, [&] {
+        app.startHotCalls();
+        LogShipper shipper(app);
+        const auto body = [&] {
+            const Cycles t0 = machine.now();
+            const auto shipped =
+                shipper.ship("/var/log/app.log", 514);
+            elapsed = machine.now() - t0;
+            if (print_counts) {
+                std::printf("shipped %llu bytes\n",
+                            static_cast<unsigned long long>(
+                                shipped));
+            }
+        };
+        if (mode == port::Mode::Native) {
+            body();
+        } else {
+            const int fn = app.registerFunction(
+                [&](std::uint64_t) { body(); });
+            app.runEnclaveFunction(fn, 0);
+        }
+
+        if (print_counts) {
+            std::printf("\nper-call counts (the Table 2 "
+                        "methodology):\n");
+            TextTable table({"API call", "count"});
+            for (const auto &entry : app.callCounts())
+                table.addRow({entry.first,
+                              std::to_string(entry.second)});
+            table.print();
+        }
+        app.stopHotCalls();
+        engine.stop();
+    });
+    engine.run();
+    return elapsed;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Porting a toy log shipper into an enclave "
+                "(Section 6.1 workflow)\n\n");
+
+    const Cycles native = runMode(port::Mode::Native, false, true);
+    const Cycles sgx = runMode(port::Mode::Sgx, false, false);
+    const Cycles hot = runMode(port::Mode::SgxHotCalls, false, false);
+    const Cycles nrz = runMode(port::Mode::SgxHotCalls, true, false);
+
+    std::printf("\nend-to-end cost of one shipping pass:\n");
+    TextTable table({"config", "cycles", "vs native"});
+    auto row = [&](const char *label, Cycles c) {
+        char rel[32];
+        std::snprintf(rel, sizeof(rel), "%.2fx",
+                      static_cast<double>(c) /
+                          static_cast<double>(native));
+        table.addRow({label, TextTable::cycles(
+                                 static_cast<double>(c)),
+                      rel});
+    };
+    row("native", native);
+    row("sgx (SDK calls)", sgx);
+    row("sgx + hotcalls", hot);
+    row("sgx + hotcalls + nrz", nrz);
+    table.print();
+
+    std::printf("\nThe hottest call is read() with a 4 KiB `out` "
+                "buffer: the SDK zeroes those\n4 KiB byte-wise on "
+                "every call, which No-Redundant-Zeroing removes "
+                "(Section 3.3).\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Secure key-value store: the paper's memcached scenario as a
+ * library consumer would run it. A KvCache server is ported into an
+ * enclave (its values live in encrypted memory), driven by a
+ * memtier-style client over loopback, first with conventional SDK
+ * calls and then with HotCalls + No-Redundant-Zeroing.
+ *
+ *   $ ./examples/secure_kvstore
+ */
+
+#include <cstdio>
+
+#include "apps/kvcache.hh"
+#include "workloads/memtier.hh"
+
+using namespace hc;
+
+namespace {
+
+struct RunResult {
+    double requestsPerSec = 0;
+    double latencyMs = 0;
+};
+
+RunResult
+runConfig(port::Mode mode, bool nrz)
+{
+    mem::MachineConfig machine_config;
+    machine_config.engine.numCores = 8;
+    machine_config.engine.interruptMeanCycles = 7'000'000;
+    mem::Machine machine(machine_config);
+    sgx::SgxPlatform platform(machine);
+    platform.installAexHandler();
+    os::Kernel kernel(machine);
+
+    port::PortConfig port_config;
+    port_config.mode = mode;
+    port_config.marshal.noRedundantZeroing = nrz;
+    port_config.hotEcallCore = 1;
+    port_config.hotOcallCore = 2;
+    port_config.hotOcalls = {"ocall_read", "ocall_sendmsg"};
+    port::PortedApp app(platform, kernel, "memcached", port_config);
+
+    apps::KvCacheServer server(app);
+    workloads::MemtierClient client(kernel, server.listenPort());
+
+    RunResult result;
+    auto &engine = machine.engine();
+    engine.spawn("driver", 7, [&] {
+        app.startHotCalls();
+        server.start(0);
+        client.start(4);
+
+        engine.sleepFor(secondsToCycles(0.02)); // warmup
+        client.recordLatencies(true);
+        const auto done0 = client.completed();
+        const Cycles t0 = machine.now();
+        engine.sleepFor(secondsToCycles(0.08));
+        const auto done1 = client.completed();
+        const double seconds = cyclesToSeconds(machine.now() - t0);
+
+        result.requestsPerSec =
+            static_cast<double>(done1 - done0) / seconds;
+        result.latencyMs = cyclesToMillis(
+            static_cast<Cycles>(client.latencies().mean()));
+
+        client.stop();
+        server.stop();
+        app.stopHotCalls();
+        engine.stop();
+    });
+    engine.run();
+    return result;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Secure key-value store (memcached scenario, "
+                "2 KiB values, 200 connections)\n\n");
+    struct Config {
+        const char *label;
+        port::Mode mode;
+        bool nrz;
+    };
+    const Config configs[] = {
+        {"native (no SGX)", port::Mode::Native, false},
+        {"SGX, SDK calls", port::Mode::Sgx, false},
+        {"SGX + HotCalls", port::Mode::SgxHotCalls, false},
+        {"SGX + HotCalls + No-Redundant-Zeroing",
+         port::Mode::SgxHotCalls, true},
+    };
+
+    double native = 0;
+    for (const auto &config : configs) {
+        const RunResult r = runConfig(config.mode, config.nrz);
+        if (native == 0)
+            native = r.requestsPerSec;
+        std::printf("%-40s %8.0f req/s  (%5.1f%% of native)  "
+                    "mean latency %.2f ms\n",
+                    config.label, r.requestsPerSec,
+                    r.requestsPerSec / native * 100, r.latencyMs);
+    }
+    std::printf("\nEven with HotCalls the store stays below native "
+                "throughput: its values live in\nencrypted memory "
+                "beyond the 93 MiB EPC, so the MEE and EPC paging "
+                "bound it\n(the paper's 'fundamental limitation' for "
+                "memcached).\n");
+    return 0;
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerates every paper table/figure at paper-fidelity settings.
+# Usage: ./run_benches.sh [quick]   (quick = ~10x fewer samples)
+QUICK="$1"
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    case "$(basename "$b")" in
+      bench_table1|bench_fig2_call_cdf|bench_fig3_hotcall_cdf)
+        if [ "$QUICK" = quick ]; then "$b" --runs=2000; else "$b" --runs=20000; fi ;;
+      bench_fig4*|bench_fig5*|bench_fig6*|bench_fig7*|bench_fig8*)
+        if [ "$QUICK" = quick ]; then "$b" --runs=500; else "$b" --runs=5000; fi ;;
+      bench_fig10*|bench_fig11*|bench_table2*)
+        if [ "$QUICK" = quick ]; then "$b" --seconds=0.05; else "$b" --seconds=0.25; fi ;;
+      bench_host_hotcall_queue)
+        "$b" --benchmark_min_time=0.2 ;;
+      *)
+        "$b" ;;
+    esac
+    echo ""
+done

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * VpnTunnel implementation.
+ */
+
+#include "apps/vpn.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace hc::apps {
+
+std::uint64_t
+VpnFrame::seal(const crypto::ChaChaKey &key, std::uint64_t seq,
+               const std::uint8_t *plaintext, std::uint64_t len,
+               std::uint8_t *out)
+{
+    std::memcpy(out, &seq, 8);
+    crypto::ChaChaNonce nonce{};
+    std::memcpy(nonce.data(), &seq, 8);
+    crypto::PolyTag tag;
+    crypto::aeadSeal(key, nonce, out, 8, plaintext, len, out + 8,
+                     &tag);
+    std::memcpy(out + 8 + len, tag.data(), tag.size());
+    return len + kOverhead;
+}
+
+std::int64_t
+VpnFrame::open(const crypto::ChaChaKey &key, const std::uint8_t *frame,
+               std::uint64_t frame_len, std::uint8_t *out_plaintext)
+{
+    if (frame_len < kOverhead)
+        return -1;
+    std::uint64_t seq = 0;
+    std::memcpy(&seq, frame, 8);
+    crypto::ChaChaNonce nonce{};
+    std::memcpy(nonce.data(), &seq, 8);
+    const std::uint64_t ct_len = frame_len - kOverhead;
+    crypto::PolyTag tag;
+    std::memcpy(tag.data(), frame + 8 + ct_len, tag.size());
+    if (!crypto::aeadOpen(key, nonce, frame, 8, frame + 8, ct_len,
+                          tag, out_plaintext)) {
+        return -1;
+    }
+    return static_cast<std::int64_t>(ct_len);
+}
+
+VpnTunnel::VpnTunnel(port::PortedApp &app, crypto::ChaChaKey key,
+                     VpnConfig config)
+    : app_(app), key_(key), config_(config)
+{
+    wireBuf_ = std::make_unique<mem::Buffer>(
+        app_.machine(), app_.dataDomain(),
+        config_.recvBufSize + VpnFrame::kOverhead);
+    plainBuf_ = std::make_unique<mem::Buffer>(
+        app_.machine(), app_.dataDomain(), config_.recvBufSize);
+}
+
+void
+VpnTunnel::start(CoreId core)
+{
+    // Device/socket setup happens before the enclave takes over.
+    auto &kernel = app_.kernel();
+    const auto tun = kernel.tunCreate();
+    tunAppFd_ = tun.first;
+    tunDaemonFd_ = tun.second;
+    udpFd_ = kernel.udpSocket(0, config_.localUdpPort);
+
+    auto &engine = app_.machine().engine();
+    if (app_.mode() == port::Mode::Native) {
+        engine.spawn("vpn-daemon", core, [this] { daemonLoop(); });
+        return;
+    }
+    const int main_fn =
+        app_.registerFunction([this](std::uint64_t) { daemonLoop(); });
+    engine.spawn("vpn-daemon", core, [this, main_fn] {
+        app_.runEnclaveFunction(main_fn, 0);
+    });
+}
+
+void
+VpnTunnel::daemonLoop()
+{
+    const std::vector<int> fds = {udpFd_, tunDaemonFd_};
+    std::vector<int> ready;
+
+    while (!stopRequested_) {
+        // openVPN's loop: arm the event set, refresh the cached time.
+        const std::int64_t n =
+            app_.poll(fds, ready, config_.pollTimeout);
+        app_.time();
+        if (n <= 0)
+            continue;
+
+        const int fd = ready[0];
+        if (fd == udpFd_)
+            handleUdp();
+        else
+            handleTun();
+
+        // Post-processing bookkeeping round (openVPN re-polls and
+        // refreshes time after every handled burst).
+        app_.poll(fds, ready, 0);
+        app_.time();
+    }
+}
+
+void
+VpnTunnel::handleUdp()
+{
+    auto &engine = app_.machine().engine();
+    const std::int64_t n =
+        app_.recvfrom(udpFd_, *wireBuf_, config_.recvBufSize);
+    if (n <= 0)
+        return;
+
+    // Decrypt (functional) and charge the crypto pipeline.
+    engine.advance(config_.cryptoBase +
+                   static_cast<Cycles>(static_cast<double>(n) *
+                                       config_.cryptoPerByte));
+    const std::int64_t pt = VpnFrame::open(
+        key_, wireBuf_->data(), static_cast<std::uint64_t>(n),
+        plainBuf_->data());
+    if (pt < 0) {
+        ++authFailures_;
+        warn("vpn: dropping frame with bad tag (%lld bytes)",
+             static_cast<long long>(n));
+        return;
+    }
+
+    engine.advance(config_.perPacketBase);
+    app_.write(tunDaemonFd_, *plainBuf_,
+               static_cast<std::uint64_t>(pt));
+    ++packetsIn_;
+}
+
+void
+VpnTunnel::handleTun()
+{
+    auto &engine = app_.machine().engine();
+    const std::int64_t n =
+        app_.read(tunDaemonFd_, *plainBuf_, config_.recvBufSize);
+    if (n <= 0)
+        return;
+
+    // OpenSSL context acquisition calls getpid (Table 2's surprise).
+    app_.getpid();
+    engine.advance(config_.cryptoBase +
+                   static_cast<Cycles>(static_cast<double>(n) *
+                                       config_.cryptoPerByte));
+    const std::uint64_t frame_len =
+        VpnFrame::seal(key_, txSeq_++, plainBuf_->data(),
+                       static_cast<std::uint64_t>(n),
+                       wireBuf_->data());
+
+    engine.advance(config_.perPacketBase);
+    app_.sendto(udpFd_, *wireBuf_, frame_len, config_.remoteUdpPort);
+    ++packetsOut_;
+}
+
+} // namespace hc::apps

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * ChaCha20, Poly1305 and the RFC 8439 AEAD composition.
+ */
+
+#include "crypto/chacha20.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hc::crypto {
+
+namespace {
+
+std::uint32_t
+rotl32(std::uint32_t x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+void
+quarterRound(std::uint32_t &a, std::uint32_t &b, std::uint32_t &c,
+             std::uint32_t &d)
+{
+    a += b; d ^= a; d = rotl32(d, 16);
+    c += d; b ^= c; b = rotl32(b, 12);
+    a += b; d ^= a; d = rotl32(d, 8);
+    c += d; b ^= c; b = rotl32(b, 7);
+}
+
+std::uint32_t
+load32le(const std::uint8_t *p)
+{
+    return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+           (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+void
+store32le(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/** Produce one 64-byte keystream block. */
+void
+chachaBlock(const ChaChaKey &key, const ChaChaNonce &nonce,
+            std::uint32_t counter, std::uint8_t out[64])
+{
+    std::uint32_t state[16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i)
+        state[4 + i] = load32le(key.data() + 4 * i);
+    state[12] = counter;
+    for (int i = 0; i < 3; ++i)
+        state[13 + i] = load32le(nonce.data() + 4 * i);
+
+    std::uint32_t x[16];
+    std::memcpy(x, state, sizeof(x));
+    for (int round = 0; round < 10; ++round) {
+        quarterRound(x[0], x[4], x[8], x[12]);
+        quarterRound(x[1], x[5], x[9], x[13]);
+        quarterRound(x[2], x[6], x[10], x[14]);
+        quarterRound(x[3], x[7], x[11], x[15]);
+        quarterRound(x[0], x[5], x[10], x[15]);
+        quarterRound(x[1], x[6], x[11], x[12]);
+        quarterRound(x[2], x[7], x[8], x[13]);
+        quarterRound(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i)
+        store32le(out + 4 * i, x[i] + state[i]);
+}
+
+} // anonymous namespace
+
+void
+chacha20Xor(const ChaChaKey &key, const ChaChaNonce &nonce,
+            std::uint32_t counter, std::uint8_t *data, std::size_t len)
+{
+    std::uint8_t block[64];
+    std::size_t off = 0;
+    while (off < len) {
+        chachaBlock(key, nonce, counter++, block);
+        const std::size_t take = std::min<std::size_t>(64, len - off);
+        for (std::size_t i = 0; i < take; ++i)
+            data[off + i] ^= block[i];
+        off += take;
+    }
+}
+
+PolyTag
+poly1305(const std::uint8_t key[32], const std::uint8_t *msg,
+         std::size_t len)
+{
+    // 130-bit arithmetic in five 26-bit limbs (the classic donna
+    // formulation).
+    std::uint32_t r0, r1, r2, r3, r4;
+    std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+    r0 = load32le(key + 0) & 0x3ffffff;
+    r1 = (load32le(key + 3) >> 2) & 0x3ffff03;
+    r2 = (load32le(key + 6) >> 4) & 0x3ffc0ff;
+    r3 = (load32le(key + 9) >> 6) & 0x3f03fff;
+    r4 = (load32le(key + 12) >> 8) & 0x00fffff;
+
+    const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5,
+                        s4 = r4 * 5;
+
+    std::size_t remaining = len;
+    const std::uint8_t *p = msg;
+    while (remaining > 0) {
+        std::uint8_t block[17] = {0};
+        const std::size_t take = std::min<std::size_t>(16, remaining);
+        std::memcpy(block, p, take);
+        block[take] = 1; // pad bit
+        p += take;
+        remaining -= take;
+
+        h0 += load32le(block + 0) & 0x3ffffff;
+        h1 += (load32le(block + 3) >> 2) & 0x3ffffff;
+        h2 += (load32le(block + 6) >> 4) & 0x3ffffff;
+        h3 += (load32le(block + 9) >> 6) & 0x3ffffff;
+        h4 += (load32le(block + 12) >> 8) |
+              (std::uint32_t(block[16]) << 24);
+
+        std::uint64_t d0 =
+            std::uint64_t(h0) * r0 + std::uint64_t(h1) * s4 +
+            std::uint64_t(h2) * s3 + std::uint64_t(h3) * s2 +
+            std::uint64_t(h4) * s1;
+        std::uint64_t d1 =
+            std::uint64_t(h0) * r1 + std::uint64_t(h1) * r0 +
+            std::uint64_t(h2) * s4 + std::uint64_t(h3) * s3 +
+            std::uint64_t(h4) * s2;
+        std::uint64_t d2 =
+            std::uint64_t(h0) * r2 + std::uint64_t(h1) * r1 +
+            std::uint64_t(h2) * r0 + std::uint64_t(h3) * s4 +
+            std::uint64_t(h4) * s3;
+        std::uint64_t d3 =
+            std::uint64_t(h0) * r3 + std::uint64_t(h1) * r2 +
+            std::uint64_t(h2) * r1 + std::uint64_t(h3) * r0 +
+            std::uint64_t(h4) * s4;
+        std::uint64_t d4 =
+            std::uint64_t(h0) * r4 + std::uint64_t(h1) * r3 +
+            std::uint64_t(h2) * r2 + std::uint64_t(h3) * r1 +
+            std::uint64_t(h4) * r0;
+
+        std::uint32_t carry;
+        carry = static_cast<std::uint32_t>(d0 >> 26);
+        h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+        d1 += carry;
+        carry = static_cast<std::uint32_t>(d1 >> 26);
+        h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+        d2 += carry;
+        carry = static_cast<std::uint32_t>(d2 >> 26);
+        h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+        d3 += carry;
+        carry = static_cast<std::uint32_t>(d3 >> 26);
+        h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+        d4 += carry;
+        carry = static_cast<std::uint32_t>(d4 >> 26);
+        h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+        h0 += carry * 5;
+        carry = h0 >> 26;
+        h0 &= 0x3ffffff;
+        h1 += carry;
+    }
+
+    // Full carry and reduction mod 2^130 - 5.
+    std::uint32_t carry;
+    carry = h1 >> 26; h1 &= 0x3ffffff; h2 += carry;
+    carry = h2 >> 26; h2 &= 0x3ffffff; h3 += carry;
+    carry = h3 >> 26; h3 &= 0x3ffffff; h4 += carry;
+    carry = h4 >> 26; h4 &= 0x3ffffff; h0 += carry * 5;
+    carry = h0 >> 26; h0 &= 0x3ffffff; h1 += carry;
+
+    // Compute h + -p and select.
+    std::uint32_t g0 = h0 + 5;
+    carry = g0 >> 26; g0 &= 0x3ffffff;
+    std::uint32_t g1 = h1 + carry;
+    carry = g1 >> 26; g1 &= 0x3ffffff;
+    std::uint32_t g2 = h2 + carry;
+    carry = g2 >> 26; g2 &= 0x3ffffff;
+    std::uint32_t g3 = h3 + carry;
+    carry = g3 >> 26; g3 &= 0x3ffffff;
+    std::uint32_t g4 = h4 + carry - (1u << 26);
+
+    const std::uint32_t mask = (g4 >> 31) - 1; // all-ones if h >= p
+    h0 = (h0 & ~mask) | (g0 & mask);
+    h1 = (h1 & ~mask) | (g1 & mask);
+    h2 = (h2 & ~mask) | (g2 & mask);
+    h3 = (h3 & ~mask) | (g3 & mask);
+    h4 = (h4 & ~mask) | (g4 & mask);
+
+    // Serialize h to 128 bits.
+    const std::uint32_t o0 = h0 | (h1 << 26);
+    const std::uint32_t o1 = (h1 >> 6) | (h2 << 20);
+    const std::uint32_t o2 = (h2 >> 12) | (h3 << 14);
+    const std::uint32_t o3 = (h3 >> 18) | (h4 << 8);
+
+    // Add the 128-bit pad s.
+    std::uint64_t f;
+    PolyTag tag;
+    f = std::uint64_t(o0) + load32le(key + 16);
+    store32le(tag.data() + 0, static_cast<std::uint32_t>(f));
+    f = std::uint64_t(o1) + load32le(key + 20) + (f >> 32);
+    store32le(tag.data() + 4, static_cast<std::uint32_t>(f));
+    f = std::uint64_t(o2) + load32le(key + 24) + (f >> 32);
+    store32le(tag.data() + 8, static_cast<std::uint32_t>(f));
+    f = std::uint64_t(o3) + load32le(key + 28) + (f >> 32);
+    store32le(tag.data() + 12, static_cast<std::uint32_t>(f));
+    return tag;
+}
+
+namespace {
+
+/** RFC 8439 tag input: aad || pad || ct || pad || len(aad) || len(ct). */
+PolyTag
+aeadTag(const ChaChaKey &key, const ChaChaNonce &nonce,
+        const std::uint8_t *aad, std::size_t aad_len,
+        const std::uint8_t *ciphertext, std::size_t ct_len)
+{
+    // One-time Poly1305 key = first 32 bytes of block 0 keystream.
+    std::uint8_t poly_key[64] = {0};
+    chacha20Xor(key, nonce, 0, poly_key, sizeof(poly_key));
+
+    std::vector<std::uint8_t> mac_data;
+    mac_data.reserve(aad_len + ct_len + 32);
+    auto pad16 = [&]() {
+        while (mac_data.size() % 16 != 0)
+            mac_data.push_back(0);
+    };
+    mac_data.insert(mac_data.end(), aad, aad + aad_len);
+    pad16();
+    mac_data.insert(mac_data.end(), ciphertext, ciphertext + ct_len);
+    pad16();
+    for (int i = 0; i < 8; ++i)
+        mac_data.push_back(
+            static_cast<std::uint8_t>(std::uint64_t(aad_len) >> (8 * i)));
+    for (int i = 0; i < 8; ++i)
+        mac_data.push_back(
+            static_cast<std::uint8_t>(std::uint64_t(ct_len) >> (8 * i)));
+
+    return poly1305(poly_key, mac_data.data(), mac_data.size());
+}
+
+} // anonymous namespace
+
+void
+aeadSeal(const ChaChaKey &key, const ChaChaNonce &nonce,
+         const std::uint8_t *aad, std::size_t aad_len,
+         const std::uint8_t *plaintext, std::size_t len,
+         std::uint8_t *out_ciphertext, PolyTag *out_tag)
+{
+    if (len > 0)
+        std::memmove(out_ciphertext, plaintext, len);
+    chacha20Xor(key, nonce, 1, out_ciphertext, len);
+    *out_tag = aeadTag(key, nonce, aad, aad_len, out_ciphertext, len);
+}
+
+bool
+aeadOpen(const ChaChaKey &key, const ChaChaNonce &nonce,
+         const std::uint8_t *aad, std::size_t aad_len,
+         const std::uint8_t *ciphertext, std::size_t len,
+         const PolyTag &tag, std::uint8_t *out_plaintext)
+{
+    const PolyTag expected =
+        aeadTag(key, nonce, aad, aad_len, ciphertext, len);
+    // Constant-time comparison.
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        diff |= expected[i] ^ tag[i];
+    if (diff != 0)
+        return false;
+    if (len > 0)
+        std::memmove(out_plaintext, ciphertext, len);
+    chacha20Xor(key, nonce, 1, out_plaintext, len);
+    return true;
+}
+
+} // namespace hc::crypto

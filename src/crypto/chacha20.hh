@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ChaCha20 stream cipher and ChaCha20-Poly1305 AEAD (RFC 8439).
+ *
+ * This is the data-plane cipher for the openVPN-like tunnel
+ * application: the tunnel genuinely encrypts and authenticates every
+ * packet, so the VPN experiments exercise a real cryptographic
+ * pipeline (the paper's openVPN uses OpenSSL).
+ */
+
+#ifndef HC_CRYPTO_CHACHA20_HH
+#define HC_CRYPTO_CHACHA20_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hc::crypto {
+
+/** A 256-bit ChaCha20 key. */
+using ChaChaKey = std::array<std::uint8_t, 32>;
+
+/** A 96-bit ChaCha20 nonce. */
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/** A 128-bit Poly1305 authentication tag. */
+using PolyTag = std::array<std::uint8_t, 16>;
+
+/**
+ * XOR @p len bytes of keystream into @p data in place.
+ *
+ * @param key      cipher key
+ * @param nonce    per-message nonce
+ * @param counter  initial 32-bit block counter
+ * @param data     buffer encrypted/decrypted in place
+ * @param len      buffer length
+ */
+void chacha20Xor(const ChaChaKey &key, const ChaChaNonce &nonce,
+                 std::uint32_t counter, std::uint8_t *data,
+                 std::size_t len);
+
+/**
+ * Poly1305 one-time authenticator over @p msg with @p key
+ * (32-byte one-time key).
+ */
+PolyTag poly1305(const std::uint8_t key[32], const std::uint8_t *msg,
+                 std::size_t len);
+
+/**
+ * ChaCha20-Poly1305 AEAD seal (RFC 8439 section 2.8).
+ *
+ * @param key    long-term key
+ * @param nonce  unique per-message nonce
+ * @param aad    additional authenticated data (may be null when empty)
+ * @param aad_len  AAD length
+ * @param plaintext  input plaintext
+ * @param len    plaintext length
+ * @param out_ciphertext  receives len bytes of ciphertext
+ * @param out_tag  receives the 16-byte tag
+ */
+void aeadSeal(const ChaChaKey &key, const ChaChaNonce &nonce,
+              const std::uint8_t *aad, std::size_t aad_len,
+              const std::uint8_t *plaintext, std::size_t len,
+              std::uint8_t *out_ciphertext, PolyTag *out_tag);
+
+/**
+ * ChaCha20-Poly1305 AEAD open.
+ *
+ * @return true and fills @p out_plaintext when the tag verifies;
+ *         false (and leaves the output untouched) otherwise.
+ */
+bool aeadOpen(const ChaChaKey &key, const ChaChaNonce &nonce,
+              const std::uint8_t *aad, std::size_t aad_len,
+              const std::uint8_t *ciphertext, std::size_t len,
+              const PolyTag &tag, std::uint8_t *out_plaintext);
+
+} // namespace hc::crypto
+
+#endif // HC_CRYPTO_CHACHA20_HH

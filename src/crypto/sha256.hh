@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), implemented from scratch.
+ *
+ * Used functionally by the SGX layer: enclave measurements (MRENCLAVE
+ * is the running SHA-256 over ECREATE/EADD/EEXTEND records, mirroring
+ * real SGX) and the HMAC-based report/attestation keys.
+ */
+
+#ifndef HC_CRYPTO_SHA256_HH
+#define HC_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hc::crypto {
+
+/** A 256-bit digest. */
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes from @p data. */
+    void update(const void *data, std::size_t len);
+
+    /** Absorb a string view. */
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the digest; the hasher must not be reused. */
+    Sha256Digest finish();
+
+    /** One-shot convenience digest. */
+    static Sha256Digest digest(const void *data, std::size_t len);
+
+    /** One-shot convenience digest of a string view. */
+    static Sha256Digest digest(std::string_view s);
+
+    /** Render a digest as lowercase hex. */
+    static std::string hex(const Sha256Digest &d);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t state_[8];
+    std::uint64_t bitLen_ = 0;
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * HMAC-SHA256 (RFC 2104).
+ *
+ * @param key      MAC key bytes
+ * @param key_len  key length
+ * @param msg      message bytes
+ * @param msg_len  message length
+ * @return the 32-byte tag
+ */
+Sha256Digest hmacSha256(const void *key, std::size_t key_len,
+                        const void *msg, std::size_t msg_len);
+
+} // namespace hc::crypto
+
+#endif // HC_CRYPTO_SHA256_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * edger8r-style code generation.
+ *
+ * Intel's edger8r consumes an EDL file and emits C glue: for each
+ * ecall an untrusted proxy (marshal + EENTER) and a trusted bridge
+ * (checks + dispatch), and symmetrically for ocalls. This library
+ * executes the same marshalling plans at runtime (edl/marshal.hh),
+ * but the generator is still useful: it renders the proxies a real
+ * SDK build would compile, which documents the interface and lets
+ * tests pin the shape of the generated code.
+ */
+
+#ifndef HC_EDL_CODEGEN_HH
+#define HC_EDL_CODEGEN_HH
+
+#include <string>
+
+#include "edl/edl_spec.hh"
+
+namespace hc::edl {
+
+/**
+ * Render the untrusted-side header for @p file: one proxy
+ * declaration per ecall (what application code links against) and
+ * one landing declaration per ocall (what the application must
+ * implement).
+ *
+ * @param file        the parsed EDL
+ * @param enclave_name used for the include guard and table names
+ */
+std::string generateUntrustedHeader(const EdlFile &file,
+                                    const std::string &enclave_name);
+
+/**
+ * Render the trusted-side header: one bridge declaration per ecall
+ * (what the trusted image must implement) and one proxy per ocall
+ * (what trusted code calls to leave the enclave).
+ */
+std::string generateTrustedHeader(const EdlFile &file,
+                                  const std::string &enclave_name);
+
+/**
+ * Render a human-readable summary of every edge function and its
+ * buffer directions — the interface audit sheet a reviewer of a
+ * ported application would start from.
+ */
+std::string describeInterface(const EdlFile &file);
+
+} // namespace hc::edl
+
+#endif // HC_EDL_CODEGEN_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * EDL object-model helpers.
+ */
+
+#include "edl/edl_spec.hh"
+
+namespace hc::edl {
+
+const char *
+directionName(Direction d)
+{
+    switch (d) {
+      case Direction::UserCheck:
+        return "user_check";
+      case Direction::In:
+        return "in";
+      case Direction::Out:
+        return "out";
+      case Direction::InOut:
+        return "in&out";
+    }
+    return "?";
+}
+
+std::uint64_t
+Param::elementSize() const
+{
+    // Sizes for the C types the EDL surface accepts. void* counts as
+    // bytes, matching edger8r's requirement that void pointers carry
+    // size= rather than count=.
+    if (type == "void" || type == "char" || type == "uint8_t" ||
+        type == "int8_t" || type == "unsigned char") {
+        return 1;
+    }
+    if (type == "uint16_t" || type == "int16_t" || type == "short")
+        return 2;
+    if (type == "uint32_t" || type == "int32_t" || type == "int" ||
+        type == "unsigned" || type == "float") {
+        return 4;
+    }
+    if (type == "uint64_t" || type == "int64_t" || type == "size_t" ||
+        type == "ssize_t" || type == "long" || type == "double") {
+        return 8;
+    }
+    throw EdlError("unknown element size for type '" + type +
+                   "' (parameter '" + name + "')");
+}
+
+int
+EdgeFunction::paramIndex(const std::string &param_name) const
+{
+    for (std::size_t i = 0; i < params.size(); ++i)
+        if (params[i].name == param_name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+namespace {
+
+const EdgeFunction *
+findIn(const std::vector<EdgeFunction> &list, const std::string &name)
+{
+    for (const auto &fn : list)
+        if (fn.name == name)
+            return &fn;
+    return nullptr;
+}
+
+} // anonymous namespace
+
+const EdgeFunction *
+EdlFile::findTrusted(const std::string &name) const
+{
+    return findIn(trusted, name);
+}
+
+const EdgeFunction *
+EdlFile::findUntrusted(const std::string &name) const
+{
+    return findIn(untrusted, name);
+}
+
+} // namespace hc::edl

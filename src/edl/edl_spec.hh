@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Edge-function specifications (the EDL object model).
+ *
+ * Intel's SDK has developers declare ecalls and ocalls in an EDL file
+ * with per-parameter direction attributes; the edger8r tool generates
+ * marshalling wrappers from it (paper Section 2.1). This module holds
+ * the parsed representation; parser.hh builds it from EDL text and
+ * marshal.hh executes it.
+ */
+
+#ifndef HC_EDL_EDL_SPEC_HH
+#define HC_EDL_EDL_SPEC_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hc::edl {
+
+/** Error in EDL text or in a call violating its spec. */
+class EdlError : public std::runtime_error
+{
+  public:
+    explicit EdlError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Buffer-transfer policy of a pointer parameter (Section 3.2.1). */
+enum class Direction {
+    UserCheck, //!< zero copy, no checks
+    In,        //!< copied toward the callee
+    Out,       //!< allocated+zeroed at callee, copied back to caller
+    InOut,     //!< copied both ways
+};
+
+/** @return a human-readable name for @p d. */
+const char *directionName(Direction d);
+
+/** One declared parameter. */
+struct Param {
+    std::string name;
+    std::string type;       //!< spelled C type, e.g. "uint8_t"
+    int pointerDepth = 0;   //!< number of '*'
+    bool isConst = false;
+    Direction direction = Direction::UserCheck;
+    bool userCheckExplicit = false; //!< [user_check] was written out
+    bool isString = false;  //!< [string]: length from NUL terminator
+
+    /** size= / count= attribute: literal value, or -1 when bound to
+     *  a parameter (sizeParamIndex). */
+    std::int64_t sizeLiteral = -1;
+    std::string sizeParamName;
+    int sizeParamIndex = -1;  //!< resolved by the parser
+    bool sizeIsCount = false; //!< count= multiplies by element size
+
+    bool isPointer() const { return pointerDepth > 0; }
+
+    /** @return sizeof(element) for count= scaling. */
+    std::uint64_t elementSize() const;
+};
+
+/** One declared edge function. */
+struct EdgeFunction {
+    std::string name;
+    std::string returnType = "void";
+    bool trusted = false; //!< declared in trusted{} (an ecall)
+    bool isPublic = false;
+    std::vector<Param> params;
+
+    /** @return the parameter index with @p name, or -1. */
+    int paramIndex(const std::string &name) const;
+};
+
+/** A parsed EDL file. */
+struct EdlFile {
+    std::vector<EdgeFunction> trusted;   //!< ecalls
+    std::vector<EdgeFunction> untrusted; //!< ocalls
+
+    /** @return the trusted function named @p name, or nullptr. */
+    const EdgeFunction *findTrusted(const std::string &name) const;
+
+    /** @return the untrusted function named @p name, or nullptr. */
+    const EdgeFunction *findUntrusted(const std::string &name) const;
+};
+
+} // namespace hc::edl
+
+#endif // HC_EDL_EDL_SPEC_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Marshaller implementation.
+ */
+
+#include "edl/marshal.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace hc::edl {
+
+std::uint64_t
+StagedCall::scalar(int index) const
+{
+    hc_assert(index >= 0 &&
+              static_cast<std::size_t>(index) < args_.size());
+    return args_[static_cast<std::size_t>(index)].scalar;
+}
+
+std::uint8_t *
+StagedCall::data(int index)
+{
+    hc_assert(index >= 0 &&
+              static_cast<std::size_t>(index) < args_.size());
+    auto &slot = slots_[static_cast<std::size_t>(index)];
+    if (slot.staging)
+        return slot.staging->data();
+    return args_[static_cast<std::size_t>(index)].data;
+}
+
+std::uint64_t
+StagedCall::size(int index) const
+{
+    hc_assert(index >= 0 &&
+              static_cast<std::size_t>(index) < args_.size());
+    return slots_[static_cast<std::size_t>(index)].bytes;
+}
+
+Addr
+StagedCall::addr(int index) const
+{
+    hc_assert(index >= 0 &&
+              static_cast<std::size_t>(index) < args_.size());
+    const auto &slot = slots_[static_cast<std::size_t>(index)];
+    if (slot.staging)
+        return slot.staging->addr();
+    return args_[static_cast<std::size_t>(index)].addr;
+}
+
+Marshaller::Marshaller(mem::Machine &machine,
+                       const sgx::SgxCostParams &params,
+                       MarshalOptions options)
+    : machine_(machine), params_(params), options_(options)
+{
+}
+
+void
+Marshaller::charge(double cycles)
+{
+    if (cycles <= 0)
+        return;
+    if (machine_.engine().currentThread())
+        machine_.engine().advance(
+            static_cast<Cycles>(std::llround(cycles)));
+}
+
+std::uint64_t
+Marshaller::resolveBytes(const EdgeFunction &fn, const Args &args,
+                         int index) const
+{
+    const auto &param = fn.params[static_cast<std::size_t>(index)];
+    const Arg &arg = args[static_cast<std::size_t>(index)];
+    if (!param.isPointer() || arg.data == nullptr)
+        return 0;
+
+    if (param.isString) {
+        // [string]: length is taken from the NUL terminator, bounded
+        // by the caller buffer capacity (edger8r emits strlen too).
+        const auto *p =
+            static_cast<const char *>(static_cast<void *>(arg.data));
+        std::uint64_t n = 0;
+        while (n < arg.capacity && p[n] != '\0')
+            ++n;
+        if (n == arg.capacity)
+            throw EdlError("[string] parameter '" + param.name +
+                           "' is not NUL-terminated within its buffer");
+        return n + 1;
+    }
+
+    std::uint64_t units = 0;
+    if (param.sizeParamIndex >= 0) {
+        units = args[static_cast<std::size_t>(param.sizeParamIndex)]
+                    .scalar;
+    } else if (param.sizeLiteral >= 0) {
+        units = static_cast<std::uint64_t>(param.sizeLiteral);
+    } else {
+        // user_check without a size: no copies are made.
+        return 0;
+    }
+    return param.sizeIsCount ? units * param.elementSize() : units;
+}
+
+void
+Marshaller::validate(const EdgeFunction &fn, const Args &args,
+                     bool ecall) const
+{
+    if (args.size() != fn.params.size()) {
+        throw EdlError(fn.name + ": expected " +
+                       std::to_string(fn.params.size()) +
+                       " arguments, got " + std::to_string(args.size()));
+    }
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        const auto &param = fn.params[i];
+        const Arg &arg = args[i];
+        if (!param.isPointer())
+            continue;
+        if (param.direction == Direction::UserCheck && !param.isString)
+            continue; // zero copy: deliberately unchecked
+        if (arg.data == nullptr)
+            continue; // NULL pointers marshal as NULL
+        const std::uint64_t bytes =
+            resolveBytes(fn, args, static_cast<int>(i));
+        if (bytes > arg.capacity) {
+            throw EdlError(fn.name + ": parameter '" + param.name +
+                           "' declares " + std::to_string(bytes) +
+                           " bytes but the buffer holds only " +
+                           std::to_string(arg.capacity));
+        }
+        // Boundary checks (Section 3.2.1): ecall input structures
+        // must lie entirely outside the enclave; ocall buffers must
+        // lie entirely inside it.
+        const mem::Domain required =
+            ecall ? mem::Domain::Untrusted : mem::Domain::Epc;
+        if (!machine_.space().rangeInDomain(arg.addr, bytes, required)) {
+            throw EdlError(fn.name + ": parameter '" + param.name +
+                           "' crosses the enclave boundary (" +
+                           directionName(param.direction) +
+                           " buffer must be entirely " +
+                           (ecall ? "outside" : "inside") +
+                           " the enclave)");
+        }
+    }
+}
+
+StagedCall
+Marshaller::stageEcall(const EdgeFunction &fn, const Args &args)
+{
+    hc_assert(fn.trusted);
+    validate(fn, args, /*ecall=*/true);
+
+    StagedCall call;
+    call.fn_ = &fn;
+    call.args_ = args;
+    call.slots_.resize(args.size());
+
+    double cost = 0.0;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        const auto &param = fn.params[i];
+        auto &slot = call.slots_[i];
+        const Arg &arg = args[i];
+        if (!param.isPointer() || arg.data == nullptr)
+            continue;
+        slot.bytes = resolveBytes(fn, args, static_cast<int>(i));
+        if (param.direction == Direction::UserCheck && !param.isString)
+            continue;
+        if (slot.bytes == 0)
+            continue;
+
+        // Allocate the staging buffer on the enclave heap.
+        slot.staging = std::make_unique<mem::Buffer>(
+            machine_, mem::Domain::Epc, slot.bytes);
+        cost += static_cast<double>(params_.ecallAllocFixed);
+
+        switch (param.direction) {
+          case Direction::In:
+          case Direction::InOut:
+            std::memcpy(slot.staging->data(), arg.data, slot.bytes);
+            cost += static_cast<double>(slot.bytes) *
+                    params_.ecallCopyInPerByte;
+            break;
+          case Direction::Out: {
+            // Zero the enclave-side buffer so stale heap secrets
+            // cannot leak back out (always kept; see MarshalOptions).
+            std::memset(slot.staging->data(), 0, slot.bytes);
+            const double per_byte = options_.wordWiseMemset
+                                        ? params_.memsetWordWisePerByte
+                                        : params_.ecallMemsetPerByte;
+            cost += static_cast<double>(slot.bytes) * per_byte;
+            break;
+          }
+          case Direction::UserCheck:
+            // [string] handled as In above; plain user_check skipped.
+            std::memcpy(slot.staging->data(), arg.data, slot.bytes);
+            cost += static_cast<double>(slot.bytes) *
+                    params_.ecallCopyInPerByte;
+            break;
+        }
+    }
+    charge(cost);
+    return call;
+}
+
+void
+Marshaller::finishEcall(StagedCall &call)
+{
+    hc_assert(!call.finished_);
+    call.finished_ = true;
+
+    double cost = 0.0;
+    const auto &fn = *call.fn_;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        const auto &param = fn.params[i];
+        auto &slot = call.slots_[i];
+        Arg &arg = call.args_[i];
+        if (!slot.staging || arg.data == nullptr)
+            continue;
+        if (param.direction == Direction::Out ||
+            param.direction == Direction::InOut) {
+            std::memcpy(arg.data, slot.staging->data(), slot.bytes);
+            cost += static_cast<double>(slot.bytes) *
+                    params_.ecallCopyOutPerByte;
+        }
+        slot.staging.reset();
+    }
+    charge(cost);
+}
+
+StagedCall
+Marshaller::stageOcall(const EdgeFunction &fn, const Args &args)
+{
+    hc_assert(!fn.trusted);
+    validate(fn, args, /*ecall=*/false);
+
+    StagedCall call;
+    call.fn_ = &fn;
+    call.args_ = args;
+    call.slots_.resize(args.size());
+
+    double cost = 0.0;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        const auto &param = fn.params[i];
+        auto &slot = call.slots_[i];
+        const Arg &arg = args[i];
+        if (!param.isPointer() || arg.data == nullptr)
+            continue;
+        slot.bytes = resolveBytes(fn, args, static_cast<int>(i));
+        if (param.direction == Direction::UserCheck && !param.isString)
+            continue;
+        if (slot.bytes == 0)
+            continue;
+
+        // Untrusted staging is carved from the insecure stack (no
+        // malloc; freed by unwinding on re-entry).
+        slot.staging = std::make_unique<mem::Buffer>(
+            machine_, mem::Domain::Untrusted, slot.bytes);
+        cost += static_cast<double>(params_.ocallAllocFixed);
+
+        switch (param.direction) {
+          case Direction::In:
+          case Direction::InOut:
+          case Direction::UserCheck: // [string]
+            // "into the ocall": enclave -> untrusted copy.
+            std::memcpy(slot.staging->data(), arg.data, slot.bytes);
+            cost += static_cast<double>(slot.bytes) *
+                    params_.ocallCopyToPerByte;
+            break;
+          case Direction::Out:
+            // "out of the ocall": the SDK zeroes the *untrusted*
+            // buffer — no security value (the untrusted side can read
+            // that memory anyway); No-Redundant-Zeroing removes it.
+            if (!options_.noRedundantZeroing) {
+                std::memset(slot.staging->data(), 0, slot.bytes);
+                const double per_byte =
+                    options_.wordWiseMemset
+                        ? params_.memsetWordWisePerByte
+                        : params_.ocallMemsetPerByte;
+                cost += static_cast<double>(slot.bytes) * per_byte;
+            }
+            break;
+        }
+    }
+    charge(cost);
+    return call;
+}
+
+void
+Marshaller::finishOcall(StagedCall &call)
+{
+    hc_assert(!call.finished_);
+    call.finished_ = true;
+
+    double cost = 0.0;
+    const auto &fn = *call.fn_;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        const auto &param = fn.params[i];
+        auto &slot = call.slots_[i];
+        Arg &arg = call.args_[i];
+        if (!slot.staging || arg.data == nullptr)
+            continue;
+        if (param.direction == Direction::Out ||
+            param.direction == Direction::InOut) {
+            // Copy back into the enclave.
+            std::memcpy(arg.data, slot.staging->data(), slot.bytes);
+            cost += static_cast<double>(slot.bytes) *
+                    params_.ocallCopyBackPerByte;
+        }
+        slot.staging.reset();
+    }
+    charge(cost);
+}
+
+} // namespace hc::edl

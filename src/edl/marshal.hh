@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Edge-call marshalling (the edger8r-generated glue code).
+ *
+ * Executes an EdgeFunction's parameter-passing policy at call time:
+ * staging buffers are genuinely allocated and copied (host bytes), the
+ * paper's security checks are enforced (boundary checks on pointer
+ * ranges, size validation), and the calibrated SDK costs are charged
+ * (memcpy, the infamous byte-wise memset, allocation).
+ *
+ * HotCalls reuse exactly this code (paper Sections 4.2 and 5): only
+ * the transport underneath (context switch vs. shared-memory channel)
+ * differs. The No-Redundant-Zeroing optimization (Section 3.3) and
+ * the word-wise memset (Section 3.5) are options here.
+ */
+
+#ifndef HC_EDL_MARSHAL_HH
+#define HC_EDL_MARSHAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "edl/edl_spec.hh"
+#include "mem/buffer.hh"
+#include "mem/machine.hh"
+#include "sgx/sgx_cost_params.hh"
+
+namespace hc::edl {
+
+/** Marshalling policy switches. */
+struct MarshalOptions {
+    /** Skip zeroing `out` buffers in *untrusted* memory (ocalls): the
+     *  untrusted side can read that memory anyway, so the memset has
+     *  no security value (paper Section 3.3). Zeroing of `out`
+     *  buffers in *enclave* memory is always kept — it prevents heap
+     *  data leaks (the HeartBleed analogy of Section 3.2.1). */
+    bool noRedundantZeroing = false;
+    /** Use a word-wise memset instead of the SDK's byte-wise one. */
+    bool wordWiseMemset = false;
+};
+
+/** One actual argument. */
+struct Arg {
+    std::uint64_t scalar = 0;
+    std::uint8_t *data = nullptr;  //!< host bytes (pointer args)
+    Addr addr = 0;                 //!< simulated address (pointer args)
+    std::uint64_t capacity = 0;    //!< bytes available at data
+
+    /** Make a scalar argument. */
+    static Arg value(std::uint64_t v)
+    {
+        Arg a;
+        a.scalar = v;
+        return a;
+    }
+
+    /** Make a pointer argument from a simulated buffer. */
+    static Arg buffer(mem::Buffer &b)
+    {
+        Arg a;
+        a.data = b.data();
+        a.addr = b.addr();
+        a.capacity = b.size();
+        return a;
+    }
+
+    /** Make a null pointer argument. */
+    static Arg null() { return Arg{}; }
+};
+
+using Args = std::vector<Arg>;
+
+/**
+ * A staged edge call: what the callee-side wrapper hands to the
+ * implementation function. Pointer parameters resolve to the staging
+ * copy (or, for user_check, the caller's memory).
+ */
+class StagedCall
+{
+  public:
+    /** An empty staged call (filled in by a Marshaller). */
+    StagedCall() = default;
+
+    StagedCall(StagedCall &&) = default;
+    StagedCall &operator=(StagedCall &&) = default;
+
+    /** @return the value of scalar parameter @p index. */
+    std::uint64_t scalar(int index) const;
+
+    /** @return callee-visible bytes of pointer parameter @p index. */
+    std::uint8_t *data(int index);
+
+    /** @return the resolved byte length of pointer param @p index. */
+    std::uint64_t size(int index) const;
+
+    /** @return the callee-visible simulated address of param @p i. */
+    Addr addr(int index) const;
+
+    /** Set the (scalar) return value. */
+    void setRetval(std::uint64_t v) { retval_ = v; }
+
+    /** @return the return value set by the callee. */
+    std::uint64_t retval() const { return retval_; }
+
+    /** @return the function being called. */
+    const EdgeFunction &fn() const { return *fn_; }
+
+  private:
+    friend class Marshaller;
+
+    struct Slot {
+        std::unique_ptr<mem::Buffer> staging; //!< null for user_check
+        std::uint64_t bytes = 0;              //!< resolved length
+    };
+
+    const EdgeFunction *fn_ = nullptr;
+    Args args_;
+    std::vector<Slot> slots_;
+    std::uint64_t retval_ = 0;
+    bool finished_ = false;
+};
+
+/** Executes marshalling plans with calibrated costs. */
+class Marshaller
+{
+  public:
+    /**
+     * @param machine  platform for staging allocation and charging
+     * @param params   SDK cost constants
+     * @param options  policy switches (NRZ, word-wise memset)
+     */
+    Marshaller(mem::Machine &machine, const sgx::SgxCostParams &params,
+               MarshalOptions options = {});
+
+    /**
+     * Stage an ecall: validate and copy caller (untrusted) buffers
+     * into enclave staging per the declared directions.
+     */
+    StagedCall stageEcall(const EdgeFunction &fn, const Args &args);
+
+    /** Copy-out phase after the trusted function returned. */
+    void finishEcall(StagedCall &call);
+
+    /**
+     * Stage an ocall: validate and copy caller (enclave) buffers to
+     * untrusted staging per the declared directions.
+     */
+    StagedCall stageOcall(const EdgeFunction &fn, const Args &args);
+
+    /** Copy-back phase after the untrusted function returned. */
+    void finishOcall(StagedCall &call);
+
+    const MarshalOptions &options() const { return options_; }
+    void setOptions(MarshalOptions options) { options_ = options; }
+
+  private:
+    /** Resolve the byte length of pointer param @p index. */
+    std::uint64_t resolveBytes(const EdgeFunction &fn, const Args &args,
+                               int index) const;
+
+    /** Validate counts, capacities, and domain placement. */
+    void validate(const EdgeFunction &fn, const Args &args,
+                  bool ecall) const;
+
+    void charge(double cycles);
+
+    mem::Machine &machine_;
+    const sgx::SgxCostParams &params_;
+    MarshalOptions options_;
+};
+
+} // namespace hc::edl
+
+#endif // HC_EDL_MARSHAL_HH

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * EDL parser implementation: hand-written lexer + recursive descent.
+ */
+
+#include "edl/parser.hh"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace hc::edl {
+
+namespace {
+
+enum class TokKind {
+    Ident,
+    Number,
+    Symbol, // one of { } [ ] ( ) , ; = *
+    End,
+};
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    std::int64_t number = 0;
+    int line = 0;
+    int column = 0;
+};
+
+/** Tokenizer with line- and block-comment support. */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+    const Token &peek() const { return current_; }
+
+    Token take()
+    {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+    [[noreturn]] void error(const std::string &msg, const Token &at)
+    {
+        throw EdlError("EDL parse error at line " +
+                       std::to_string(at.line) + ":" +
+                       std::to_string(at.column) + ": " + msg);
+    }
+
+  private:
+    void advance()
+    {
+        skipSpaceAndComments();
+        current_ = Token{};
+        current_.line = line_;
+        current_.column = column_;
+        if (pos_ >= text_.size()) {
+            current_.kind = TokKind::End;
+            current_.text = "<end>";
+            return;
+        }
+        const char c = text_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string ident;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        text_[pos_])) ||
+                    text_[pos_] == '_')) {
+                ident += text_[pos_];
+                bump();
+            }
+            current_.kind = TokKind::Ident;
+            current_.text = std::move(ident);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::int64_t value = 0;
+            std::string text;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(
+                       text_[pos_]))) {
+                value = value * 10 + (text_[pos_] - '0');
+                text += text_[pos_];
+                bump();
+            }
+            current_.kind = TokKind::Number;
+            current_.number = value;
+            current_.text = std::move(text);
+            return;
+        }
+        static const std::string symbols = "{}[](),;=*";
+        if (symbols.find(c) != std::string::npos) {
+            current_.kind = TokKind::Symbol;
+            current_.text = std::string(1, c);
+            bump();
+            return;
+        }
+        throw EdlError("EDL lex error at line " + std::to_string(line_) +
+                       ":" + std::to_string(column_) +
+                       ": unexpected character '" + std::string(1, c) +
+                       "'");
+    }
+
+    void skipSpaceAndComments()
+    {
+        for (;;) {
+            while (pos_ < text_.size() &&
+                   std::isspace(static_cast<unsigned char>(
+                       text_[pos_]))) {
+                bump();
+            }
+            if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+                text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    bump();
+                continue;
+            }
+            if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+                text_[pos_ + 1] == '*') {
+                bump();
+                bump();
+                while (pos_ + 1 < text_.size() &&
+                       !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+                    bump();
+                }
+                if (pos_ + 1 >= text_.size())
+                    throw EdlError("EDL lex error: unterminated "
+                                   "comment");
+                bump();
+                bump();
+                continue;
+            }
+            break;
+        }
+    }
+
+    void bump()
+    {
+        if (text_[pos_] == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        ++pos_;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+    Token current_;
+};
+
+/** Recursive-descent parser over the lexer. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : lexer_(text) {}
+
+    EdlFile parse()
+    {
+        expectIdent("enclave");
+        expectSymbol("{");
+        EdlFile file;
+        while (!isSymbol("}")) {
+            const Token section = expectKind(TokKind::Ident);
+            const bool trusted = section.text == "trusted";
+            if (!trusted && section.text != "untrusted")
+                lexer_.error("expected 'trusted' or 'untrusted'",
+                             section);
+            expectSymbol("{");
+            while (!isSymbol("}")) {
+                auto fn = parseFunction(trusted);
+                (trusted ? file.trusted : file.untrusted)
+                    .push_back(std::move(fn));
+            }
+            expectSymbol("}");
+            expectSymbol(";");
+        }
+        expectSymbol("}");
+        if (isSymbol(";"))
+            lexer_.take();
+        if (lexer_.peek().kind != TokKind::End)
+            lexer_.error("trailing content after enclave block",
+                         lexer_.peek());
+        return file;
+    }
+
+  private:
+    EdgeFunction parseFunction(bool trusted)
+    {
+        EdgeFunction fn;
+        fn.trusted = trusted;
+
+        if (isIdent("public")) {
+            lexer_.take();
+            fn.isPublic = true;
+            if (!trusted)
+                lexer_.error("'public' is only valid on trusted "
+                             "functions",
+                             lexer_.peek());
+        }
+
+        int stars = 0;
+        bool is_const = false;
+        fn.returnType = parseType(stars, is_const);
+        if (stars > 0)
+            lexer_.error("pointer return types are not supported by "
+                         "edge functions",
+                         lexer_.peek());
+
+        const Token name = expectKind(TokKind::Ident);
+        fn.name = name.text;
+
+        expectSymbol("(");
+        if (isIdent("void") && !isSymbolAfterIdent()) {
+            // `fn(void)` empty parameter list
+            lexer_.take();
+        } else if (!isSymbol(")")) {
+            for (;;) {
+                fn.params.push_back(parseParam());
+                if (isSymbol(","))
+                    lexer_.take();
+                else
+                    break;
+            }
+        }
+        expectSymbol(")");
+        expectSymbol(";");
+
+        resolveSizeBindings(fn, name);
+        return fn;
+    }
+
+    /** Look ahead: is the current 'void' followed by '*' or a name? */
+    bool isSymbolAfterIdent()
+    {
+        // The lexer has one token of lookahead only; treat `void` at
+        // parameter position as the empty list only when immediately
+        // followed by ')'. We implement this by tentatively taking
+        // and restoring via copy — the Lexer is cheap to copy.
+        Lexer saved = lexer_;
+        lexer_.take(); // 'void'
+        const bool more = !isSymbol(")");
+        lexer_ = saved;
+        return more;
+    }
+
+    Param parseParam()
+    {
+        Param param;
+        if (isSymbol("["))
+            parseAttributes(param);
+
+        int stars = 0;
+        bool is_const = false;
+        param.type = parseType(stars, is_const);
+        param.pointerDepth = stars;
+        param.isConst = is_const;
+
+        const Token name = expectKind(TokKind::Ident);
+        param.name = name.text;
+
+        if (param.isPointer() && param.direction == Direction::UserCheck &&
+            !param.userCheckExplicit && !param.isString) {
+            lexer_.error("pointer parameter '" + param.name +
+                             "' needs a direction attribute "
+                             "([in], [out], [in, out] or [user_check])",
+                         name);
+        }
+        if (!param.isPointer() &&
+            (param.direction != Direction::UserCheck ||
+             param.userCheckExplicit || param.isString ||
+             param.sizeLiteral >= 0 || !param.sizeParamName.empty())) {
+            lexer_.error("attributes are only valid on pointer "
+                         "parameters ('" +
+                             param.name + "')",
+                         name);
+        }
+        return param;
+    }
+
+    void parseAttributes(Param &param)
+    {
+        expectSymbol("[");
+        bool has_in = false;
+        bool has_out = false;
+        for (;;) {
+            const Token attr = expectKind(TokKind::Ident);
+            if (attr.text == "in") {
+                has_in = true;
+            } else if (attr.text == "out") {
+                has_out = true;
+            } else if (attr.text == "user_check") {
+                param.userCheckExplicit = true;
+            } else if (attr.text == "string") {
+                param.isString = true;
+            } else if (attr.text == "size" || attr.text == "count") {
+                expectSymbol("=");
+                const Token value = lexer_.take();
+                if (value.kind == TokKind::Number) {
+                    param.sizeLiteral = value.number;
+                } else if (value.kind == TokKind::Ident) {
+                    param.sizeParamName = value.text;
+                } else {
+                    lexer_.error("size=/count= expects a parameter "
+                                 "name or literal",
+                                 value);
+                }
+                param.sizeIsCount = attr.text == "count";
+            } else {
+                lexer_.error("unknown attribute '" + attr.text + "'",
+                             attr);
+            }
+            if (isSymbol(","))
+                lexer_.take();
+            else
+                break;
+        }
+        expectSymbol("]");
+
+        if (param.userCheckExplicit && (has_in || has_out)) {
+            throw EdlError("parameter '" + param.name +
+                           "': user_check cannot be combined with "
+                           "in/out");
+        }
+        if (has_in && has_out)
+            param.direction = Direction::InOut;
+        else if (has_in)
+            param.direction = Direction::In;
+        else if (has_out)
+            param.direction = Direction::Out;
+        if (param.isString && (has_out || param.userCheckExplicit)) {
+            throw EdlError("parameter '" + param.name +
+                           "': [string] requires [in] or [in, out]");
+        }
+        if (param.isString && !has_in) {
+            throw EdlError("parameter '" + param.name +
+                           "': [string] requires [in]");
+        }
+    }
+
+    std::string parseType(int &stars, bool &is_const)
+    {
+        stars = 0;
+        is_const = false;
+        std::string type;
+        // Accept: ['const'] ident ['unsigned' combos] '*'*
+        while (lexer_.peek().kind == TokKind::Ident) {
+            const std::string &word = lexer_.peek().text;
+            if (word == "const") {
+                is_const = true;
+                lexer_.take();
+                continue;
+            }
+            if (word == "unsigned" || word == "signed") {
+                if (!type.empty())
+                    type += " ";
+                type += lexer_.take().text;
+                continue;
+            }
+            // One base-type identifier; stop before the parameter
+            // name (types here are single identifiers like size_t).
+            if (type.empty() || type == "unsigned" ||
+                type == "signed") {
+                if (!type.empty())
+                    type += " ";
+                type += lexer_.take().text;
+            }
+            break;
+        }
+        if (type.empty())
+            lexer_.error("expected a type", lexer_.peek());
+        while (isSymbol("*")) {
+            lexer_.take();
+            ++stars;
+        }
+        return type;
+    }
+
+    void resolveSizeBindings(EdgeFunction &fn, const Token &at)
+    {
+        for (auto &param : fn.params) {
+            if (param.sizeParamName.empty())
+                continue;
+            const int idx = fn.paramIndex(param.sizeParamName);
+            if (idx < 0) {
+                lexer_.error("size/count parameter '" +
+                                 param.sizeParamName +
+                                 "' of '" + param.name +
+                                 "' is not a parameter of " + fn.name,
+                             at);
+            }
+            if (fn.params[static_cast<std::size_t>(idx)].isPointer()) {
+                lexer_.error("size/count parameter '" +
+                                 param.sizeParamName +
+                                 "' must be a scalar",
+                             at);
+            }
+            param.sizeParamIndex = idx;
+        }
+    }
+
+    bool isSymbol(const char *s)
+    {
+        return lexer_.peek().kind == TokKind::Symbol &&
+               lexer_.peek().text == s;
+    }
+
+    bool isIdent(const char *s)
+    {
+        return lexer_.peek().kind == TokKind::Ident &&
+               lexer_.peek().text == s;
+    }
+
+    Token expectKind(TokKind kind)
+    {
+        if (lexer_.peek().kind != kind)
+            lexer_.error("unexpected token '" + lexer_.peek().text +
+                             "'",
+                         lexer_.peek());
+        return lexer_.take();
+    }
+
+    void expectSymbol(const char *s)
+    {
+        if (!isSymbol(s))
+            lexer_.error(std::string("expected '") + s + "', got '" +
+                             lexer_.peek().text + "'",
+                         lexer_.peek());
+        lexer_.take();
+    }
+
+    void expectIdent(const char *s)
+    {
+        if (!isIdent(s))
+            lexer_.error(std::string("expected '") + s + "', got '" +
+                             lexer_.peek().text + "'",
+                         lexer_.peek());
+        lexer_.take();
+    }
+
+    Lexer lexer_;
+};
+
+} // anonymous namespace
+
+EdlFile
+parseEdl(std::string_view text)
+{
+    Parser parser(text);
+    return parser.parse();
+}
+
+} // namespace hc::edl

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * EDL parser.
+ *
+ * Accepts the subset of Intel's EDL grammar the paper's workflow
+ * uses:
+ *
+ *   enclave {
+ *       trusted {
+ *           public void ecall_process([in, size=len] uint8_t* buf,
+ *                                     size_t len);
+ *       };
+ *       untrusted {
+ *           ssize_t ocall_read(int fd, [out, size=count] void* buf,
+ *                              size_t count);
+ *           void ocall_log([in, string] const char* msg);
+ *       };
+ *   };
+ *
+ * Attributes: in, out, user_check, string, size=<param|literal>,
+ * count=<param|literal>. Pointer parameters must carry a direction
+ * attribute (edger8r rejects bare pointers too). Errors carry
+ * line/column positions.
+ */
+
+#ifndef HC_EDL_PARSER_HH
+#define HC_EDL_PARSER_HH
+
+#include <string_view>
+
+#include "edl/edl_spec.hh"
+
+namespace hc::edl {
+
+/**
+ * Parse EDL text into its object model.
+ * @throws EdlError on syntax or semantic errors.
+ */
+EdlFile parseEdl(std::string_view text);
+
+} // namespace hc::edl
+
+#endif // HC_EDL_PARSER_HH

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * HotCallService implementation.
+ */
+
+#include "hotcalls/hotcall.hh"
+
+#include "support/logging.hh"
+
+namespace hc::hotcalls {
+
+namespace {
+
+/** Requester-side fixed glue (argument packing around the channel). */
+constexpr Cycles kRequesterFixed = 95;
+/** Responder-side fixed dispatch (call-table lookup, jump). */
+constexpr Cycles kResponderFixed = 85;
+
+} // anonymous namespace
+
+HotCallService::HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
+                               CoreId responder_core,
+                               HotCallConfig config)
+    : runtime_(runtime), machine_(runtime.platform().machine()),
+      kind_(kind), responderCore_(responder_core), config_(config),
+      sleepMutex_(machine_), sleepCond_(machine_)
+{
+    // One 64-byte line in untrusted memory holds the whole protocol
+    // state (spin-lock word, busy flag, call_ID, *data), so a single
+    // coherence transfer moves it between requester and responder.
+    channelLine_ =
+        machine_.space().allocUntrusted(kCacheLineSize, kCacheLineSize);
+}
+
+HotCallService::~HotCallService()
+{
+    stopRequested_ = true;
+    machine_.space().free(channelLine_);
+}
+
+void
+HotCallService::touchChannel(bool write)
+{
+    machine_.memory().accessWord(channelLine_, write);
+}
+
+void
+HotCallService::start()
+{
+    hc_assert(!responder_);
+    const char *name = kind_ == Kind::HotEcall ? "hot-ecall-responder"
+                                               : "hot-ocall-responder";
+    responder_ = machine_.engine().spawn(name, responderCore_,
+                                         [this] { responderLoop(); });
+}
+
+void
+HotCallService::stop()
+{
+    stopRequested_ = true;
+    if (sleeping_) {
+        sleepMutex_.lock();
+        sleepCond_.signal();
+        sleepMutex_.unlock();
+    }
+}
+
+std::uint64_t
+HotCallService::call(const std::string &name, const edl::Args &args)
+{
+    const int id = kind_ == Kind::HotOcall ? runtime_.ocallId(name)
+                                           : runtime_.ecallId(name);
+    return call(id, args);
+}
+
+std::uint64_t
+HotCallService::call(int id, const edl::Args &args)
+{
+    hc_assert(responder_);
+    auto &engine = machine_.engine();
+    auto &rng = engine.rng();
+
+    const bool is_ocall = kind_ == Kind::HotOcall;
+    if (is_ocall &&
+        !runtime_.platform().inEnclave(machine_.currentCore())) {
+        throw sgx::SgxFault("HotOcall issued outside enclave mode");
+    }
+
+    engine.advance(kRequesterFixed);
+
+    for (int attempt = 0; attempt < config_.timeoutTries; ++attempt) {
+        // Take the spin-lock (one RFO on the channel line).
+        touchChannel(true);
+        if (lockWord_) {
+            engine.advance(sdk::kPauseCycles +
+                           rng.nextBelow(config_.pollJitter + 1));
+            continue;
+        }
+        lockWord_ = true;
+
+        // Is the responder free?
+        touchChannel(false);
+        if (go_) {
+            lockWord_ = false;
+            touchChannel(true);
+            engine.advance(sdk::kPauseCycles +
+                           rng.nextBelow(config_.pollJitter + 1));
+            continue;
+        }
+
+        // The responder is ours. Marshal the data (a HotOcall
+        // requester runs the same edger8r-generated trusted wrapper
+        // the SDK would, Section 4.2/5), publish *data and call_ID,
+        // then signal "go" and release the lock.
+        edl::StagedCall staged;
+        EcallRequest ecall_req;
+        if (is_ocall) {
+            const auto &fn = runtime_.edlFile()
+                                 .untrusted[static_cast<std::size_t>(id)];
+            staged = runtime_.marshaller().stageOcall(fn, args);
+            ocallRequest_ = &staged;
+        } else {
+            ecall_req.args = &args;
+            ecallRequest_ = &ecall_req;
+        }
+        callId_ = id;
+        touchChannel(true); // publish *data and call_ID
+        go_ = true;
+        touchChannel(true); // mark the responder busy ("go")
+
+        if (sleeping_) {
+            // Responder parked: wake it before waiting (Section 4.2,
+            // "Conserving resources at idle times").
+            ++stats_.wakeups;
+            sleepMutex_.lock();
+            sleepCond_.signal();
+            sleepMutex_.unlock();
+        }
+
+        lockWord_ = false;
+        touchChannel(true); // release the lock
+        engine.advance(sdk::kPauseCycles); // PAUSE after release
+
+        // Wait for completion: the responder clears the busy flag
+        // once it has executed the call and filled the response.
+        for (;;) {
+            touchChannel(false);
+            if (!go_)
+                break;
+            engine.advance(sdk::kPauseCycles +
+                           rng.nextBelow(config_.pollJitter + 1));
+        }
+        ++stats_.calls;
+
+        // Note: the shared request-pointer fields are NOT cleared
+        // here. Once the busy flag dropped, another requester may
+        // already have taken the lock and published its own request;
+        // scribbling the channel without holding the lock would race
+        // with it.
+        if (is_ocall) {
+            // Back "inside": copy out-buffers into the enclave.
+            runtime_.marshaller().finishOcall(staged);
+            return staged.retval();
+        }
+        return ecall_req.retval;
+    }
+
+    // Timeout expired: fall back to the conventional SDK call
+    // (Section 4.2, "Preventing starvation").
+    ++stats_.fallbacks;
+    return is_ocall ? runtime_.ocall(id, args)
+                    : runtime_.ecall(id, args);
+}
+
+void
+HotCallService::serveRequest()
+{
+    const Cycles start = machine_.now();
+    auto &engine = machine_.engine();
+    engine.advance(kResponderFixed);
+
+    if (kind_ == Kind::HotOcall) {
+        hc_assert(ocallRequest_);
+        runtime_.dispatchOcallDirect(callId_, *ocallRequest_);
+    } else {
+        // HotEcall: the trusted responder runs the original
+        // edger8r-style wrapper — staging (copy-in), the trusted
+        // function, and copy-out all execute inside the enclave.
+        hc_assert(ecallRequest_);
+        const auto &fn =
+            runtime_.edlFile().trusted[static_cast<std::size_t>(callId_)];
+        auto staged =
+            runtime_.marshaller().stageEcall(fn, *ecallRequest_->args);
+        runtime_.dispatchEcallDirect(callId_, staged);
+        runtime_.marshaller().finishEcall(staged);
+        ecallRequest_->retval = staged.retval();
+    }
+
+    stats_.responderBusyCycles += machine_.now() - start;
+}
+
+void
+HotCallService::responderLoop()
+{
+    auto &engine = machine_.engine();
+    auto &rng = engine.rng();
+    auto &platform = runtime_.platform();
+
+    // A HotEcall responder parks inside the enclave with one
+    // conventional ecall and keeps polling from enclave mode.
+    sgx::Tcs *tcs = nullptr;
+    if (kind_ == Kind::HotEcall) {
+        platform.chargeStage(platform.params().sdkEcallSoftware,
+                             runtime_.enclave().untrustedCtxLines(),
+                             false);
+        // Under heavy fallback traffic every TCS may momentarily be
+        // taken by conventional ecalls; wait for one politely.
+        while (!(tcs = runtime_.enclave().acquireTcs())) {
+            engine.advance(sdk::kPauseCycles);
+            engine.yield();
+        }
+        platform.eenter(runtime_.enclave(), *tcs);
+    }
+
+    std::uint64_t idle_polls = 0;
+    while (!stopRequested_) {
+        ++stats_.responderPolls;
+
+        // Try the lock; on failure just PAUSE and retry.
+        touchChannel(true);
+        if (!lockWord_) {
+            lockWord_ = true;
+            touchChannel(false); // check the busy/"go" flag
+            if (go_) {
+                idle_polls = 0;
+                touchChannel(false); // read call_ID and *data
+                lockWord_ = false;
+                touchChannel(true); // release before executing
+                serveRequest();
+                go_ = false;
+                touchChannel(true); // flag completion (busy cleared)
+                if (rng.chance(config_.hiccupChance)) {
+                    engine.advance(static_cast<Cycles>(
+                        rng.nextExponential(static_cast<double>(
+                            config_.hiccupMean))));
+                }
+            } else {
+                ++idle_polls;
+                lockWord_ = false;
+                touchChannel(true);
+            }
+        }
+        engine.advance(sdk::kPauseCycles +
+                       rng.nextBelow(config_.pollJitter + 1));
+
+        if (config_.responderSleep &&
+            idle_polls > config_.idlePollsBeforeSleep &&
+            !stopRequested_) {
+            // Conserve the core: park on the condition variable until
+            // a requester (or stop()) signals.
+            ++stats_.responderSleeps;
+            sleeping_ = true;
+            touchChannel(true);
+            sleepMutex_.lock();
+            sleepCond_.wait(sleepMutex_);
+            sleepMutex_.unlock();
+            sleeping_ = false;
+            touchChannel(true);
+            idle_polls = 0;
+        }
+    }
+
+    if (kind_ == Kind::HotEcall) {
+        platform.eexit();
+        runtime_.enclave().releaseTcs(tcs);
+    }
+}
+
+} // namespace hc::hotcalls

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * HotCalls: the paper's fast enclave interface (Section 4).
+ *
+ * Instead of paying an 8,200-17,000-cycle secure context switch per
+ * call, a *requester* and a *responder* communicate through a shared
+ * cache line in unencrypted memory, synchronized by a spin lock. The
+ * responder is a dedicated "on call" thread continuously polling the
+ * line (with PAUSE between attempts); the requester takes the lock,
+ * checks that the responder is free, publishes the call id and data
+ * pointer, signals "go", and spins on "done".
+ *
+ * Two services exist:
+ *  - HotOcall: the enclave is the requester, an untrusted thread is
+ *    the responder (replacing SDK ocalls). Marshalling runs in the
+ *    trusted requester — *the same edger8r-generated code* the SDK
+ *    uses (Sections 4.2, 5) — so the security properties carry over.
+ *  - HotEcall: the untrusted side is the requester; the responder is
+ *    a thread parked inside the enclave via a single conventional
+ *    ecall, polling the shared line from enclave mode.
+ *
+ * Practical considerations from Section 4.2 are implemented:
+ * PAUSE-based self-contention avoidance, a lock-acquire timeout with
+ * fallback to the conventional SDK call, and an idle-sleep mode in
+ * which the responder parks on a condition variable and the requester
+ * wakes it before publishing.
+ */
+
+#ifndef HC_HOTCALLS_HOTCALL_HH
+#define HC_HOTCALLS_HOTCALL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sdk/runtime.hh"
+#include "sdk/spinlock.hh"
+#include "sdk/thread_sync.hh"
+
+namespace hc::hotcalls {
+
+/** Which direction a service accelerates. */
+enum class Kind {
+    HotEcall, //!< untrusted requester -> trusted responder
+    HotOcall, //!< trusted requester -> untrusted responder
+};
+
+/** Tunables (paper Section 4.2). */
+struct HotCallConfig {
+    /** Lock/busy attempts before falling back to the SDK call. The
+     *  paper uses 10 and reports it never expired. */
+    int timeoutTries = 10;
+    /** Enable responder idle sleep on a condition variable. */
+    bool responderSleep = false;
+    /** Empty polls before the responder goes to sleep. */
+    std::uint64_t idlePollsBeforeSleep = 100'000;
+    /** Small per-poll jitter bound (pipeline/branch variation). */
+    Cycles pollJitter = 22;
+    /** Probability of a scheduling hiccup on the responder per
+     *  handled call (TLB shootdowns, SMIs, ...); feeds the CDF tail. */
+    double hiccupChance = 0.012;
+    Cycles hiccupMean = 230;
+};
+
+/** Run statistics of a HotCall service. */
+struct HotCallStats {
+    std::uint64_t calls = 0;        //!< completed via the channel
+    std::uint64_t fallbacks = 0;    //!< timed out -> SDK path
+    std::uint64_t responderPolls = 0;
+    std::uint64_t responderSleeps = 0;
+    std::uint64_t wakeups = 0;
+    Cycles responderBusyCycles = 0; //!< time inside handlers
+};
+
+/**
+ * One HotCall service: a shared channel plus its responder thread.
+ */
+class HotCallService
+{
+  public:
+    /**
+     * @param runtime         enclave runtime whose edge functions are
+     *                        served
+     * @param kind            HotEcall or HotOcall
+     * @param responder_core  logical core the On Call thread occupies
+     * @param config          tunables
+     */
+    HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
+                   CoreId responder_core, HotCallConfig config = {});
+
+    ~HotCallService();
+
+    HotCallService(const HotCallService &) = delete;
+    HotCallService &operator=(const HotCallService &) = delete;
+
+    /** Spawn the responder thread (must be called before call()). */
+    void start();
+
+    /** Ask the responder to exit its loop. */
+    void stop();
+
+    /**
+     * Issue a call through the channel.
+     *
+     * For HotOcall this must run in enclave mode (it is the drop-in
+     * replacement for EnclaveRuntime::ocall); for HotEcall it must
+     * run outside. Falls back to the conventional SDK call after
+     * `timeoutTries` failed attempts.
+     *
+     * @return the callee's scalar return value
+     */
+    std::uint64_t call(int id, const edl::Args &args);
+
+    /** Name-resolving convenience overload. */
+    std::uint64_t call(const std::string &name, const edl::Args &args);
+
+    const HotCallStats &stats() const { return stats_; }
+    Kind kind() const { return kind_; }
+    const HotCallConfig &config() const { return config_; }
+
+  private:
+    /** The responder thread body. */
+    void responderLoop();
+
+    /** One priced access to the shared channel line. */
+    void touchChannel(bool write);
+
+    /** Execute the published request (responder side). */
+    void serveRequest();
+
+    sdk::EnclaveRuntime &runtime_;
+    mem::Machine &machine_;
+    Kind kind_;
+    CoreId responderCore_;
+    HotCallConfig config_;
+
+    // ------------------------------------------------------------------
+    // The shared channel, as in the paper's Figure 9. All control
+    // fields live on one simulated cache line in untrusted memory
+    // (touchChannel prices every access); the host-side fields below
+    // carry the functional state. Completion is signalled by the
+    // responder clearing the busy/"go" flag after executing the call.
+    // ------------------------------------------------------------------
+
+    /** Payload of a HotEcall request (lives on the requester stack). */
+    struct EcallRequest {
+        const edl::Args *args = nullptr;
+        std::uint64_t retval = 0;
+    };
+
+    Addr channelLine_ = 0;
+    bool lockWord_ = false;    //!< the sgx_spin_lock word
+    bool go_ = false;          //!< responder busy / request published
+    bool sleeping_ = false;    //!< responder parked on the condvar
+    int callId_ = -1;
+    edl::StagedCall *ocallRequest_ = nullptr; //!< the *data pointer
+    EcallRequest *ecallRequest_ = nullptr;
+
+    sdk::SgxThreadMutex sleepMutex_;
+    sdk::SgxThreadCond sleepCond_;
+
+    sim::Thread *responder_ = nullptr;
+    bool stopRequested_ = false;
+    HotCallStats stats_;
+};
+
+} // namespace hc::hotcalls
+
+#endif // HC_HOTCALLS_HOTCALL_HH

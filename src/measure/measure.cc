@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Measurement harness implementation.
+ */
+
+#include "measure/measure.hh"
+
+#include "support/logging.hh"
+
+namespace hc::measure {
+
+namespace {
+
+MeasureResult
+measureWith(sgx::SgxPlatform &platform, const std::function<void()> &op,
+            MeasureConfig config, const std::function<void()> &setup,
+            bool oracle_clock)
+{
+    MeasureResult result;
+    result.samples =
+        SampleSet(static_cast<std::size_t>(config.batches) *
+                  static_cast<std::size_t>(config.runsPerBatch));
+
+    auto &engine = platform.machine().engine();
+    auto &rng = engine.rng();
+
+    for (int batch = 0; batch < config.batches; ++batch) {
+        for (int run = 0; run < config.runsPerBatch; ++run) {
+            if (setup)
+                setup();
+
+            const std::uint64_t interrupts_before =
+                engine.interruptCount();
+            const Cycles t0 =
+                oracle_clock ? platform.machine().now()
+                             : platform.rdtscp();
+            op();
+            const Cycles t1 =
+                oracle_clock ? platform.machine().now()
+                             : platform.rdtscp();
+
+            if (engine.interruptCount() != interrupts_before) {
+                // The run took an interrupt (an AEX if we were in
+                // enclave mode): the paper monitors the AEX landing
+                // location and discards such runs.
+                ++result.discardedAex;
+                continue;
+            }
+
+            // RDTSCP is accurate to +/- 2 cycles.
+            const double noise =
+                static_cast<double>(rng.nextRange(-2, 2));
+            result.samples.add(static_cast<double>(t1 - t0) + noise);
+        }
+    }
+    return result;
+}
+
+} // anonymous namespace
+
+MeasureResult
+measureOp(sgx::SgxPlatform &platform, const std::function<void()> &op,
+          MeasureConfig config, const std::function<void()> &setup)
+{
+    return measureWith(platform, op, config, setup,
+                       /*oracle_clock=*/false);
+}
+
+MeasureResult
+measureOracleOp(sgx::SgxPlatform &platform,
+                const std::function<void()> &op, MeasureConfig config,
+                const std::function<void()> &setup)
+{
+    return measureWith(platform, op, config, setup,
+                       /*oracle_clock=*/true);
+}
+
+} // namespace hc::measure

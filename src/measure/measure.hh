@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Measurement methodology from the paper's Section 3.1.
+ *
+ * Operations are timed with RDTSCP (serialized, accurate to +/- 2
+ * cycles, and forbidden inside the enclave — so both reads happen in
+ * untrusted mode around the whole round trip). Each microbenchmark
+ * runs 10 batches of 20,000 executions; samples contaminated by an
+ * Asynchronous Exit (AEX) or any other interrupt are detected by
+ * watching the AEX landing counter and discarded.
+ */
+
+#ifndef HC_MEASURE_MEASURE_HH
+#define HC_MEASURE_MEASURE_HH
+
+#include <functional>
+
+#include "sgx/platform.hh"
+#include "support/stats.hh"
+
+namespace hc::measure {
+
+/** Batch configuration (paper: 10 x 20,000). */
+struct MeasureConfig {
+    int batches = 10;
+    int runsPerBatch = 20'000;
+};
+
+/** Result of a measurement campaign. */
+struct MeasureResult {
+    SampleSet samples;              //!< clean samples, in cycles
+    std::uint64_t discardedAex = 0; //!< samples dropped due to AEX
+};
+
+/**
+ * Time @p op repeatedly from the current fiber.
+ *
+ * @param platform  SGX platform (provides RDTSCP and AEX counters)
+ * @param op        the operation to measure (one round trip)
+ * @param config    batch configuration
+ * @param setup     optional per-run preparation executed *outside*
+ *                  the timed region (e.g. cache flushes for
+ *                  cold-cache experiments)
+ */
+MeasureResult measureOp(sgx::SgxPlatform &platform,
+                        const std::function<void()> &op,
+                        MeasureConfig config = {},
+                        const std::function<void()> &setup = {});
+
+/**
+ * As measureOp(), but reads the simulator's oracle clock instead of
+ * executing RDTSCP, so it may be used while in enclave mode (where
+ * RDTSCP faults). The paper measured enclave-internal costs (ocalls,
+ * in-enclave memory access) from the untrusted side around a whole
+ * round trip; the simulator can observe them directly, which is
+ * equivalent for these microbenchmarks and avoids double-counting
+ * entry/exit costs.
+ */
+MeasureResult measureOracleOp(sgx::SgxPlatform &platform,
+                              const std::function<void()> &op,
+                              MeasureConfig config = {},
+                              const std::function<void()> &setup = {});
+
+} // namespace hc::measure
+
+#endif // HC_MEASURE_MEASURE_HH

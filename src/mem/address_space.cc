@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Address-space and allocator implementation.
+ */
+
+#include "mem/address_space.hh"
+
+#include "support/logging.hh"
+
+namespace hc::mem {
+
+namespace {
+
+std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round a request to its size class (next power-of-two-ish step). */
+std::uint64_t
+sizeClass(std::uint64_t size)
+{
+    if (size <= 16)
+        return 16;
+    std::uint64_t c = 16;
+    while (c < size)
+        c += c / 2; // 1.5x size classes bound internal waste to 50%
+    return c;
+}
+
+} // anonymous namespace
+
+RegionAllocator::RegionAllocator(Addr base, std::uint64_t size)
+    : base_(base), size_(size), bump_(base)
+{
+    hc_assert(size > 0);
+}
+
+Addr
+RegionAllocator::alloc(std::uint64_t size, std::uint64_t align)
+{
+    hc_assert(size > 0);
+    hc_assert(align > 0 && (align & (align - 1)) == 0);
+    const std::uint64_t cls = sizeClass(roundUp(size, align));
+
+    Addr addr = 0;
+    auto it = freeLists_.find(cls);
+    if (it != freeLists_.end() && !it->second.empty()) {
+        addr = it->second.back();
+        it->second.pop_back();
+    } else {
+        addr = roundUp(bump_, align);
+        if (addr + cls > base_ + size_) {
+            panic("region allocator exhausted: base=0x%llx size=%llu "
+                  "requested=%llu",
+                  static_cast<unsigned long long>(base_),
+                  static_cast<unsigned long long>(size_),
+                  static_cast<unsigned long long>(size));
+        }
+        bump_ = addr + cls;
+    }
+
+    liveSizes_[addr] = cls;
+    inUse_ += cls;
+    return addr;
+}
+
+void
+RegionAllocator::free(Addr addr)
+{
+    auto it = liveSizes_.find(addr);
+    hc_assert(it != liveSizes_.end());
+    const std::uint64_t cls = it->second;
+    liveSizes_.erase(it);
+    inUse_ -= cls;
+    freeLists_[cls].push_back(addr);
+}
+
+AddressSpace::AddressSpace(std::uint64_t untrusted_size,
+                           std::uint64_t epc_size)
+    : untrusted_(kUntrustedBase, untrusted_size),
+      epc_(kEpcBase, epc_size)
+{
+}
+
+Addr
+AddressSpace::allocUntrusted(std::uint64_t size, std::uint64_t align)
+{
+    return untrusted_.alloc(size, align);
+}
+
+Addr
+AddressSpace::allocEpc(std::uint64_t size, std::uint64_t align)
+{
+    return epc_.alloc(size, align);
+}
+
+void
+AddressSpace::free(Addr addr)
+{
+    if (untrusted_.contains(addr))
+        untrusted_.free(addr);
+    else if (epc_.contains(addr))
+        epc_.free(addr);
+    else
+        panic("free of unmapped address 0x%llx",
+              static_cast<unsigned long long>(addr));
+}
+
+Domain
+AddressSpace::domainOf(Addr addr) const
+{
+    if (untrusted_.contains(addr))
+        return Domain::Untrusted;
+    if (epc_.contains(addr))
+        return Domain::Epc;
+    panic("domainOf unmapped address 0x%llx",
+          static_cast<unsigned long long>(addr));
+}
+
+bool
+AddressSpace::rangeInDomain(Addr addr, std::uint64_t len,
+                            Domain d) const
+{
+    if (len == 0)
+        return true;
+    const RegionAllocator &region =
+        (d == Domain::Untrusted)
+            ? untrusted_
+            : epc_;
+    return region.contains(addr) && region.contains(addr + len - 1);
+}
+
+} // namespace hc::mem

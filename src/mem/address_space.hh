@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Simulated virtual address space.
+ *
+ * Functional data lives in ordinary host memory; simulated addresses
+ * exist purely so the timing models (cache, MEE, EPC paging) can
+ * reason about placement. The address space has two regions mirroring
+ * the paper's machine: regular (untrusted, plaintext) memory and the
+ * Enclave Page Cache (encrypted, integrity-protected).
+ */
+
+#ifndef HC_MEM_ADDRESS_SPACE_HH
+#define HC_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "support/units.hh"
+
+namespace hc::mem {
+
+/** Placement domain of a simulated address. */
+enum class Domain {
+    Untrusted, //!< regular plaintext memory
+    Epc,       //!< encrypted enclave page cache
+};
+
+/**
+ * First-fit allocator with size-class free lists for one region.
+ *
+ * Allocation cost is not charged here; the SDK layer charges the
+ * paper-calibrated allocation costs explicitly where they matter.
+ */
+class RegionAllocator
+{
+  public:
+    /**
+     * @param base  first simulated address of the region
+     * @param size  region size in bytes
+     */
+    RegionAllocator(Addr base, std::uint64_t size);
+
+    /**
+     * Allocate @p size bytes aligned to @p align (power of two).
+     * @return the simulated address; panics on exhaustion.
+     */
+    Addr alloc(std::uint64_t size, std::uint64_t align = 16);
+
+    /** Release an allocation previously returned by alloc(). */
+    void free(Addr addr);
+
+    /** @return true when @p addr falls inside this region. */
+    bool contains(Addr addr) const
+    {
+        return addr >= base_ && addr < base_ + size_;
+    }
+
+    /** @return bytes currently allocated. */
+    std::uint64_t bytesInUse() const { return inUse_; }
+
+    Addr base() const { return base_; }
+    std::uint64_t size() const { return size_; }
+
+  private:
+    Addr base_;
+    std::uint64_t size_;
+    Addr bump_;
+    std::uint64_t inUse_ = 0;
+    /** Size-class free lists: rounded size -> available addresses. */
+    std::map<std::uint64_t, std::vector<Addr>> freeLists_;
+    /** Live allocation sizes (also used to validate frees). */
+    std::unordered_map<Addr, std::uint64_t> liveSizes_;
+};
+
+/** The two-region simulated address space. */
+class AddressSpace
+{
+  public:
+    /** Region bases: chosen far apart so domains never overlap. */
+    static constexpr Addr kUntrustedBase = 0x0000'1000'0000ull;
+    static constexpr Addr kEpcBase = 0x0200'0000'0000ull;
+
+    /**
+     * @param untrusted_size  size of regular memory region
+     * @param epc_size        size of the EPC region
+     */
+    AddressSpace(std::uint64_t untrusted_size, std::uint64_t epc_size);
+
+    /** Allocate in regular memory. */
+    Addr allocUntrusted(std::uint64_t size, std::uint64_t align = 16);
+
+    /** Allocate in the EPC. */
+    Addr allocEpc(std::uint64_t size, std::uint64_t align = 16);
+
+    /** Free an allocation from either region. */
+    void free(Addr addr);
+
+    /** @return the placement domain of @p addr; panics if unmapped. */
+    Domain domainOf(Addr addr) const;
+
+    /** @return true when @p addr lies in the EPC region. */
+    bool isEpc(Addr addr) const { return epc_.contains(addr); }
+
+    /** @return true when the whole range stays in one domain. */
+    bool rangeInDomain(Addr addr, std::uint64_t len, Domain d) const;
+
+    const RegionAllocator &untrusted() const { return untrusted_; }
+    const RegionAllocator &epc() const { return epc_; }
+
+  private:
+    RegionAllocator untrusted_;
+    RegionAllocator epc_;
+};
+
+} // namespace hc::mem
+
+#endif // HC_MEM_ADDRESS_SPACE_HH

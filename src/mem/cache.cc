@@ -1,0 +1,137 @@
+/**
+ * @file
+ * LLC model implementation.
+ */
+
+#include "mem/cache.hh"
+
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace hc::mem {
+
+CacheModel::CacheModel(std::uint64_t size, int ways,
+                       std::uint64_t line_size)
+    : lineSize_(line_size)
+{
+    hc_assert(ways > 0);
+    hc_assert(line_size > 0 && (line_size & (line_size - 1)) == 0);
+    const std::uint64_t lines = size / line_size;
+    hc_assert(lines % static_cast<std::uint64_t>(ways) == 0);
+    const std::uint64_t num_sets = lines / static_cast<std::uint64_t>(ways);
+    sets_.resize(num_sets);
+    for (auto &set : sets_)
+        set.ways.resize(static_cast<std::size_t>(ways));
+}
+
+CacheModel::Set &
+CacheModel::setFor(Addr addr)
+{
+    // Hash the line address so widely separated regions (untrusted vs
+    // EPC bases) spread over all sets instead of aliasing.
+    const std::uint64_t idx =
+        mix64(lineAddr(addr)) % sets_.size();
+    return sets_[idx];
+}
+
+const CacheModel::Set &
+CacheModel::setFor(Addr addr) const
+{
+    const std::uint64_t idx =
+        mix64(lineAddr(addr)) % sets_.size();
+    return sets_[idx];
+}
+
+CacheModel::Result
+CacheModel::access(CoreId core, Addr addr, bool write)
+{
+    Result result;
+    const Addr line = lineAddr(addr);
+    Set &set = setFor(addr);
+    ++useCounter_;
+
+    Line *victim = nullptr;
+    for (auto &way : set.ways) {
+        if (way.valid && way.tag == line) {
+            result.outcome = (way.owner == core)
+                                 ? CacheOutcome::OwnedHit
+                                 : CacheOutcome::SharedHit;
+            way.owner = core;
+            way.dirty = way.dirty || write;
+            way.lastUse = useCounter_;
+            ++hits_;
+            return result;
+        }
+        if (!victim || !way.valid ||
+            (victim->valid && way.lastUse < victim->lastUse)) {
+            if (!victim || victim->valid)
+                victim = &way;
+        }
+    }
+
+    // Miss: fill, evicting the LRU way.
+    hc_assert(victim);
+    ++misses_;
+    if (victim->valid) {
+        result.evicted = true;
+        result.evictedDirty = victim->dirty;
+        result.evictedLine = victim->tag;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->owner = core;
+    victim->lastUse = useCounter_;
+    return result;
+}
+
+bool
+CacheModel::contains(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    const Set &set = setFor(addr);
+    for (const auto &way : set.ways)
+        if (way.valid && way.tag == line)
+            return true;
+    return false;
+}
+
+bool
+CacheModel::flushLine(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    Set &set = setFor(addr);
+    for (auto &way : set.ways) {
+        if (way.valid && way.tag == line) {
+            const bool dirty = way.dirty;
+            way.valid = false;
+            way.dirty = false;
+            return dirty;
+        }
+    }
+    return false;
+}
+
+void
+CacheModel::flushAll()
+{
+    for (auto &set : sets_) {
+        for (auto &way : set.ways) {
+            way.valid = false;
+            way.dirty = false;
+        }
+    }
+}
+
+void
+CacheModel::flushRange(Addr addr, std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    const Addr first = lineAddr(addr);
+    const Addr last = lineAddr(addr + len - 1);
+    for (Addr line = first; line <= last; line += lineSize_)
+        flushLine(line);
+}
+
+} // namespace hc::mem

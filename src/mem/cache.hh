@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Last-level cache model.
+ *
+ * A single shared, set-associative, write-back LLC with per-line
+ * owner tracking (which core touched the line last). Owner tracking
+ * is what prices the HotCalls shared-memory channel: a line bouncing
+ * between the requester's and responder's cores pays a cache-to-cache
+ * transfer rather than a local hit. Private L1/L2 levels are folded
+ * into the "owned hit" cost — the microbenchmarks the paper builds on
+ * only distinguish cached / cross-core / DRAM.
+ */
+
+#ifndef HC_MEM_CACHE_HH
+#define HC_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/units.hh"
+
+namespace hc::mem {
+
+/** Classification of a cache access. */
+enum class CacheOutcome {
+    OwnedHit,  //!< present, last touched by the accessing core
+    SharedHit, //!< present, last touched by a different core
+    Miss,      //!< not present: DRAM fetch
+};
+
+/** Set-associative LLC with LRU replacement. */
+class CacheModel
+{
+  public:
+    /** Result of one access, including any eviction it caused. */
+    struct Result {
+        CacheOutcome outcome = CacheOutcome::Miss;
+        bool evicted = false;      //!< a valid line was replaced
+        bool evictedDirty = false; //!< ... and it was dirty
+        Addr evictedLine = 0;      //!< line address of the victim
+    };
+
+    /**
+     * @param size       total capacity in bytes
+     * @param ways       associativity
+     * @param line_size  line size in bytes (power of two)
+     */
+    CacheModel(std::uint64_t size, int ways,
+               std::uint64_t line_size = kCacheLineSize);
+
+    /**
+     * Look up (and on miss, fill) the line containing @p addr.
+     *
+     * @param core   accessing core (updates the owner on every access)
+     * @param addr   byte address
+     * @param write  marks the line dirty
+     */
+    Result access(CoreId core, Addr addr, bool write);
+
+    /** @return true if the line containing @p addr is resident. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Evict the line containing @p addr if resident.
+     * @return true when the line was present and dirty.
+     */
+    bool flushLine(Addr addr);
+
+    /** Invalidate the whole cache (cold-cache experiments). */
+    void flushAll();
+
+    /** Invalidate every line overlapping [addr, addr+len). */
+    void flushRange(Addr addr, std::uint64_t len);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t numSets() const { return sets_.size(); }
+
+  private:
+    struct Line {
+        Addr tag = 0; //!< line-aligned address
+        bool valid = false;
+        bool dirty = false;
+        CoreId owner = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Set {
+        std::vector<Line> ways;
+    };
+
+    Set &setFor(Addr addr);
+    const Set &setFor(Addr addr) const;
+    Addr lineAddr(Addr addr) const { return addr & ~(lineSize_ - 1); }
+
+    std::uint64_t lineSize_;
+    std::vector<Set> sets_;
+    std::uint64_t useCounter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace hc::mem
+
+#endif // HC_MEM_CACHE_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Machine implementation.
+ */
+
+#include "mem/machine.hh"
+
+namespace hc::mem {
+
+Machine::Machine(MachineConfig config)
+    : config_(config), engine_(config.engine),
+      space_(config.untrustedMemory, config.mem.epcVirtualSize),
+      memory_(engine_, space_, config.mem, config.engine.seed ^ 0x5367)
+{
+}
+
+} // namespace hc::mem

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine: the simulated platform bundle.
+ *
+ * One Machine mirrors the paper's test box: an 8-logical-core 4 GHz
+ * CPU (sim::Engine), its address space with a 93 MiB EPC, and the
+ * timed memory system (LLC + MEE). Higher layers (SGX, SDK, OS, apps)
+ * take a Machine by reference.
+ */
+
+#ifndef HC_MEM_MACHINE_HH
+#define HC_MEM_MACHINE_HH
+
+#include <cstdint>
+
+#include "mem/address_space.hh"
+#include "mem/cost_params.hh"
+#include "mem/memory.hh"
+#include "sim/engine.hh"
+
+namespace hc::mem {
+
+/** Configuration of a simulated machine. */
+struct MachineConfig {
+    sim::Engine::Config engine;
+    CostParams mem;
+    std::uint64_t untrustedMemory = 4096_MiB;
+};
+
+/** The simulated platform: cores + address space + memory system. */
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig config = {});
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    sim::Engine &engine() { return engine_; }
+    AddressSpace &space() { return space_; }
+    MemoryModel &memory() { return memory_; }
+    const CostParams &memParams() const { return config_.mem; }
+    const MachineConfig &config() const { return config_; }
+
+    /** @return the calling fiber's core (0 outside the simulation). */
+    CoreId currentCore() const { return memory_.currentCore(); }
+
+    /** @return the calling fiber's core clock. */
+    Cycles now() const { return engine_.now(); }
+
+  private:
+    MachineConfig config_;
+    sim::Engine engine_;
+    AddressSpace space_;
+    MemoryModel memory_;
+};
+
+} // namespace hc::mem
+
+#endif // HC_MEM_MACHINE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * MEE model implementation.
+ */
+
+#include "mem/mee.hh"
+
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace hc::mem {
+
+Mee::Mee(const CostParams &params, Addr epc_base, std::uint64_t epc_size,
+         std::uint64_t key)
+    : params_(params), epcBase_(epc_base),
+      numLines_(epc_size / kCacheLineSize), key_(key)
+{
+    hc_assert(params_.meeCacheEntries > 0);
+    hc_assert(params_.meeCacheWays > 0);
+    hc_assert(params_.meeCacheEntries % params_.meeCacheWays == 0);
+    hc_assert(params_.meeTreeArity > 1);
+    nodeSets_ = params_.meeCacheEntries / params_.meeCacheWays;
+    nodeCache_.assign(static_cast<std::size_t>(params_.meeCacheEntries),
+                      NodeWay{});
+
+    // Number of tree levels needed so the top level has one node
+    // (the root, which is always on-die and never fetched).
+    treeLevels_ = 0;
+    std::uint64_t coverage = 1;
+    while (coverage < numLines_) {
+        coverage *= static_cast<std::uint64_t>(params_.meeTreeArity);
+        ++treeLevels_;
+    }
+
+    trustedVersion_.assign(numLines_, 0);
+    dramVersion_.assign(numLines_, 0);
+    dramMac_.resize(numLines_);
+    for (std::uint64_t i = 0; i < numLines_; ++i)
+        dramMac_[i] = macFor(i, 0);
+}
+
+std::uint64_t
+Mee::lineIndex(Addr line_addr) const
+{
+    hc_assert(line_addr >= epcBase_);
+    const std::uint64_t idx = (line_addr - epcBase_) / kCacheLineSize;
+    hc_assert(idx < numLines_);
+    return idx;
+}
+
+std::uint64_t
+Mee::macFor(std::uint64_t line_index, std::uint64_t version) const
+{
+    // A keyed 64-bit tag. Real hardware uses a Carter-Wegman MAC; the
+    // protocol (per-line versioned tags verified against tree
+    // counters) is what this model reproduces.
+    const std::uint64_t material[3] = {key_, line_index, version};
+    return fastHash64(material, sizeof(material));
+}
+
+int
+Mee::readWalkMisses(Addr line_addr)
+{
+    const std::uint64_t idx = lineIndex(line_addr);
+    int misses = 0;
+    // Walk from the leaf counter level upward. A level whose covering
+    // node is in the node cache ends the walk: the cached node is
+    // already trusted. The root is pinned on-die.
+    std::uint64_t node = idx;
+    const int ways = params_.meeCacheWays;
+    for (int level = 1; level <= treeLevels_; ++level) {
+        node /= static_cast<std::uint64_t>(params_.meeTreeArity);
+        if (level == treeLevels_)
+            break; // root reached: on-die, never fetched
+        const std::uint64_t tag =
+            (static_cast<std::uint64_t>(level) << 48) | (node + 1);
+        const std::size_t set = static_cast<std::size_t>(
+            mix64(tag) % static_cast<std::uint64_t>(nodeSets_));
+        NodeWay *base = &nodeCache_[set * static_cast<std::size_t>(ways)];
+        ++nodeUseCounter_;
+
+        NodeWay *victim = &base[0];
+        bool hit = false;
+        for (int w = 0; w < ways; ++w) {
+            if (base[w].tag == tag) {
+                base[w].lastUse = nodeUseCounter_;
+                hit = true;
+                break;
+            }
+            if (base[w].tag == 0 ||
+                (victim->tag != 0 &&
+                 base[w].lastUse < victim->lastUse)) {
+                victim = &base[w];
+            }
+        }
+        if (hit) {
+            ++nodeHits_;
+            return misses;
+        }
+        ++nodeMisses_;
+        ++misses;
+        victim->tag = tag;
+        victim->lastUse = nodeUseCounter_;
+    }
+    return misses;
+}
+
+void
+Mee::clearNodeCache()
+{
+    nodeCache_.assign(nodeCache_.size(), NodeWay{});
+}
+
+bool
+Mee::verifyLine(Addr line_addr) const
+{
+    const std::uint64_t idx = lineIndex(line_addr);
+    if (dramMac_[idx] != macFor(idx, dramVersion_[idx]))
+        return false; // forged/corrupted line or MAC
+    if (dramVersion_[idx] != trustedVersion_[idx])
+        return false; // consistent but stale: rollback attack
+    return true;
+}
+
+void
+Mee::writebackLine(Addr line_addr)
+{
+    const std::uint64_t idx = lineIndex(line_addr);
+    ++trustedVersion_[idx];
+    dramVersion_[idx] = trustedVersion_[idx];
+    dramMac_[idx] = macFor(idx, dramVersion_[idx]);
+}
+
+void
+Mee::tamperMac(Addr line_addr)
+{
+    const std::uint64_t idx = lineIndex(line_addr);
+    dramMac_[idx] ^= 0x1;
+}
+
+void
+Mee::rollbackLine(Addr line_addr)
+{
+    const std::uint64_t idx = lineIndex(line_addr);
+    hc_assert(dramVersion_[idx] > 0);
+    --dramVersion_[idx];
+    dramMac_[idx] = macFor(idx, dramVersion_[idx]);
+}
+
+} // namespace hc::mem

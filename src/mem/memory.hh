@@ -1,0 +1,138 @@
+/**
+ * @file
+ * MemoryModel: the priced interface to the simulated memory system.
+ *
+ * Every timed memory operation in the simulator flows through here:
+ * the microbenchmarks (Table 1 rows 7-10, Figs 6-8), the SGX call
+ * paths (whose warm/cold behaviour comes from which modelled lines hit
+ * or miss), the HotCalls shared channel, and the applications' data
+ * buffers. Operations charge virtual time on the calling fiber's core
+ * via the simulation engine and also return the cost for callers that
+ * aggregate.
+ */
+
+#ifndef HC_MEM_MEMORY_HH
+#define HC_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/address_space.hh"
+#include "mem/cache.hh"
+#include "mem/cost_params.hh"
+#include "mem/mee.hh"
+#include "sim/engine.hh"
+#include "support/units.hh"
+
+namespace hc::mem {
+
+/**
+ * Hook invoked once per EPC page an access touches; returns extra
+ * cycles (used by the SGX layer for EPC paging: EWB/ELDU).
+ */
+using PageTouchHook = std::function<Cycles(Addr page, bool write)>;
+
+/** Hook invoked when MEE integrity verification fails. */
+using IntegrityFailureHook = std::function<void(Addr line)>;
+
+/** The priced memory system facade. */
+class MemoryModel
+{
+  public:
+    /**
+     * @param engine  simulation engine used for charging time
+     * @param space   the simulated address space
+     * @param params  cost/geometry parameters
+     * @param seed    seed for the MEE MAC key
+     */
+    MemoryModel(sim::Engine &engine, AddressSpace &space,
+                const CostParams &params, std::uint64_t seed = 0x5367);
+
+    // ------------------------------------------------------------------
+    // Priced operations. Each charges the calling fiber's core and
+    // returns the charged cycle count.
+    // ------------------------------------------------------------------
+
+    /**
+     * Sequential read of [addr, addr+len) in 64-bit words.
+     * @param charge_time  when false, update cache/MEE state and
+     *        return the price without advancing the fiber clock
+     *        (callers that aggregate several operations with jitter
+     *        charge the sum themselves)
+     */
+    Cycles readBuffer(Addr addr, std::uint64_t len,
+                      bool charge_time = true);
+
+    /**
+     * Sequential write of [addr, addr+len).
+     *
+     * @param flush_after  additionally clflush+mfence every line, as
+     *        the paper's write microbenchmark does (Section 3.4)
+     * @param charge_time  see readBuffer()
+     */
+    Cycles writeBuffer(Addr addr, std::uint64_t len,
+                       bool flush_after = false,
+                       bool charge_time = true);
+
+    /** One demand access of at most 8 bytes. */
+    Cycles accessWord(Addr addr, bool write, bool charge_time = true);
+
+    // ------------------------------------------------------------------
+    // Un-priced state manipulation (experiment setup, mirroring the
+    // paper's use of clflush outside the measured region).
+    // ------------------------------------------------------------------
+
+    /** Evict every line overlapping [addr, addr+len). */
+    void evictRange(Addr addr, std::uint64_t len);
+
+    /** Evict the entire LLC (cold-cache experiments). */
+    void evictAll();
+
+    // ------------------------------------------------------------------
+    // Hooks.
+    // ------------------------------------------------------------------
+
+    /** Install the per-page touch hook (EPC paging). */
+    void setPageTouchHook(PageTouchHook hook);
+
+    /** Install the integrity-failure handler (default: panic). */
+    void setIntegrityFailureHook(IntegrityFailureHook hook);
+
+    // ------------------------------------------------------------------
+    // Access to sub-models.
+    // ------------------------------------------------------------------
+
+    CacheModel &cache() { return cache_; }
+    Mee &mee() { return mee_; }
+    const CostParams &params() const { return params_; }
+    AddressSpace &space() { return space_; }
+    sim::Engine &engine() { return engine_; }
+
+    /** @return the calling fiber's core, or 0 outside the simulation. */
+    CoreId currentCore() const;
+
+  private:
+    /** Charge @p cycles on the calling fiber, if any. */
+    void charge(Cycles cycles);
+
+    /** Handle a cache-fill result's eviction (EPC write-back). */
+    void handleEviction(const CacheModel::Result &result);
+
+    /** Verify integrity of a line fetched from DRAM. */
+    void verifyFetched(Addr line);
+
+    /** Apply the page-touch hook over the pages of a range. */
+    Cycles touchPages(Addr addr, std::uint64_t len, bool write);
+
+    sim::Engine &engine_;
+    AddressSpace &space_;
+    CostParams params_;
+    CacheModel cache_;
+    Mee mee_;
+    PageTouchHook pageTouch_;
+    IntegrityFailureHook integrityFailure_;
+};
+
+} // namespace hc::mem
+
+#endif // HC_MEM_MEMORY_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SharedVar: a priced cross-thread variable.
+ *
+ * The HotCalls channel and the SGX SDK spin-lock communicate through
+ * plain variables in shared (unencrypted) memory. SharedVar wraps a
+ * host value with a simulated address so each load/store/CAS pays the
+ * right coherence cost: a local hit while one core polls, a
+ * cache-to-cache transfer when the other side last wrote the line.
+ *
+ * Simulated threads are cooperatively scheduled inside one host
+ * thread, so plain (non-atomic) host operations are exact: the engine
+ * interleaves fibers at priced access boundaries only.
+ */
+
+#ifndef HC_MEM_SHARED_VAR_HH
+#define HC_MEM_SHARED_VAR_HH
+
+#include <cstdint>
+
+#include "mem/machine.hh"
+
+namespace hc::mem {
+
+/** A priced variable living at a simulated address. */
+template <typename T>
+class SharedVar
+{
+  public:
+    /**
+     * @param machine  platform the variable lives on
+     * @param domain   placement (HotCalls uses untrusted memory)
+     * @param initial  initial value
+     */
+    SharedVar(Machine &machine, Domain domain, T initial = T{})
+        : machine_(machine), value_(initial)
+    {
+        addr_ = (domain == Domain::Epc)
+                    ? machine.space().allocEpc(sizeof(T), 64)
+                    : machine.space().allocUntrusted(sizeof(T), 64);
+    }
+
+    ~SharedVar() { machine_.space().free(addr_); }
+
+    SharedVar(const SharedVar &) = delete;
+    SharedVar &operator=(const SharedVar &) = delete;
+
+    /** Priced load. */
+    T load()
+    {
+        machine_.memory().accessWord(addr_, false);
+        return value_;
+    }
+
+    /** Priced store. */
+    void store(T v)
+    {
+        machine_.memory().accessWord(addr_, true);
+        value_ = v;
+    }
+
+    /**
+     * Priced compare-and-swap (one RFO access, like LOCK CMPXCHG).
+     * @return true when the swap happened.
+     */
+    bool compareExchange(T expected, T desired)
+    {
+        machine_.memory().accessWord(addr_, true);
+        if (value_ != expected)
+            return false;
+        value_ = desired;
+        return true;
+    }
+
+    /** Un-priced peek for assertions and tests. */
+    T peek() const { return value_; }
+
+    Addr addr() const { return addr_; }
+
+  private:
+    Machine &machine_;
+    Addr addr_;
+    T value_;
+};
+
+} // namespace hc::mem
+
+#endif // HC_MEM_SHARED_VAR_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * sgx_spin_lock equivalent.
+ *
+ * A busy-wait lock over a word of (usually untrusted, shared) memory.
+ * The paper's HotCalls build on exactly this: POSIX mutexes need OS
+ * services (defeating the point) and MONITOR/MWAIT costs thousands of
+ * cycles, while sgx_spin_lock is plain code usable from both sides of
+ * the enclave boundary (Section 4.2). Each lock operation is priced
+ * through the coherence model, so a lock line bouncing between cores
+ * pays cache-to-cache transfers; PAUSE is issued between attempts.
+ */
+
+#ifndef HC_SDK_SPINLOCK_HH
+#define HC_SDK_SPINLOCK_HH
+
+#include "mem/shared_var.hh"
+
+namespace hc::sdk {
+
+/** Cost of one PAUSE instruction in a spin loop. */
+constexpr Cycles kPauseCycles = 35;
+
+/** A priced test-and-set spin lock. */
+class SpinLock
+{
+  public:
+    /**
+     * @param machine  platform the lock word lives on
+     * @param domain   placement; HotCalls use untrusted memory so
+     *                 both sides can touch the line
+     */
+    explicit SpinLock(mem::Machine &machine,
+                      mem::Domain domain = mem::Domain::Untrusted)
+        : machine_(machine), word_(machine, domain, 0)
+    {
+    }
+
+    /**
+     * Try to take the lock with one atomic exchange.
+     * @return true on success.
+     */
+    bool tryLock() { return word_.compareExchange(0, 1); }
+
+    /** Spin (with PAUSE) until the lock is acquired. */
+    void lock()
+    {
+        while (!tryLock())
+            machine_.engine().advance(kPauseCycles);
+    }
+
+    /** Release the lock; issues a PAUSE to reduce self-contention. */
+    void unlock()
+    {
+        word_.store(0);
+        machine_.engine().advance(kPauseCycles);
+    }
+
+    /** @return true when currently held (un-priced; for assertions). */
+    bool heldUnpriced() const { return word_.peek() != 0; }
+
+    /** @return the simulated address of the lock word. */
+    Addr addr() const { return word_.addr(); }
+
+  private:
+    mem::Machine &machine_;
+    mem::SharedVar<std::uint32_t> word_;
+};
+
+} // namespace hc::sdk
+
+#endif // HC_SDK_SPINLOCK_HH

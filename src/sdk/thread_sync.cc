@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trusted synchronization primitive implementation.
+ */
+
+#include "sdk/thread_sync.hh"
+
+#include "support/logging.hh"
+
+namespace hc::sdk {
+
+namespace {
+
+/** Uncontended lock/unlock cost (atomic op on a warm line). */
+constexpr Cycles kFastPathCycles = 25;
+/** Cost of parking/unparking through the OS (futex-style). */
+constexpr Cycles kParkCycles = 150;
+
+} // anonymous namespace
+
+void
+SgxThreadMutex::lock()
+{
+    auto &engine = machine_.engine();
+    engine.advance(kFastPathCycles);
+    // No time may be charged between the check and the park: an
+    // advance() there can yield to the holder, whose unlock-notify
+    // would then hit an empty queue (lost wakeup).
+    while (locked_)
+        engine.wait(waiters_);
+    locked_ = true;
+}
+
+void
+SgxThreadMutex::unlock()
+{
+    hc_assert(locked_);
+    auto &engine = machine_.engine();
+    engine.advance(kFastPathCycles);
+    locked_ = false;
+    engine.notifyOne(waiters_);
+}
+
+void
+SgxThreadMutex::releaseForWait()
+{
+    // Host-state-only release (no cycle charge, hence no yield):
+    // used by the condition variable so that release + park is
+    // atomic with respect to the scheduler.
+    hc_assert(locked_);
+    locked_ = false;
+    machine_.engine().notifyOne(waiters_);
+}
+
+void
+SgxThreadCond::wait(SgxThreadMutex &mutex)
+{
+    auto &engine = machine_.engine();
+    hc_assert(mutex.locked());
+    // Charge the park cost while still holding the lock, then
+    // release and park back to back so no signal can slip between.
+    engine.advance(kParkCycles);
+    mutex.releaseForWait();
+    engine.wait(waiters_);
+    mutex.lock();
+}
+
+bool
+SgxThreadCond::waitUntil(SgxThreadMutex &mutex, Cycles deadline)
+{
+    auto &engine = machine_.engine();
+    hc_assert(mutex.locked());
+    engine.advance(kParkCycles);
+    mutex.releaseForWait();
+    const bool signalled = engine.waitUntil(waiters_, deadline);
+    mutex.lock();
+    return signalled;
+}
+
+void
+SgxThreadCond::signal()
+{
+    auto &engine = machine_.engine();
+    engine.advance(kParkCycles);
+    engine.notifyOne(waiters_);
+}
+
+void
+SgxThreadCond::broadcast()
+{
+    auto &engine = machine_.engine();
+    engine.advance(kParkCycles);
+    engine.notifyAll(waiters_);
+}
+
+} // namespace hc::sdk

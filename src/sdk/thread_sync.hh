@@ -1,0 +1,82 @@
+/**
+ * @file
+ * sgx_thread_mutex / sgx_thread_cond equivalents.
+ *
+ * The SDK provides in-enclave replacements for pthread_mutex_t and
+ * pthread_cond_t (paper Section 6.1, "Corner case API calls"); ported
+ * applications swap their POSIX synchronization for these. Waiting
+ * releases the core (the real SDK parks the thread via an ocall to
+ * the OS), which we model with the engine's wait queues plus the
+ * syscall-ish costs.
+ */
+
+#ifndef HC_SDK_THREAD_SYNC_HH
+#define HC_SDK_THREAD_SYNC_HH
+
+#include "mem/machine.hh"
+#include "sim/engine.hh"
+
+namespace hc::sdk {
+
+/** A sleeping mutex in the style of sgx_thread_mutex. */
+class SgxThreadMutex
+{
+  public:
+    explicit SgxThreadMutex(mem::Machine &machine) : machine_(machine)
+    {
+    }
+
+    /** Acquire; blocks the fiber when contended. */
+    void lock();
+
+    /** Release; wakes one waiter. */
+    void unlock();
+
+    /** @return true when currently held. */
+    bool locked() const { return locked_; }
+
+  private:
+    friend class SgxThreadCond;
+
+    /** Release without charging time (atomic release+park helper). */
+    void releaseForWait();
+
+    mem::Machine &machine_;
+    bool locked_ = false;
+    sim::WaitQueue waiters_;
+};
+
+/** A condition variable in the style of sgx_thread_cond. */
+class SgxThreadCond
+{
+  public:
+    explicit SgxThreadCond(mem::Machine &machine) : machine_(machine)
+    {
+    }
+
+    /** Atomically release @p mutex and wait; re-acquires on wake. */
+    void wait(SgxThreadMutex &mutex);
+
+    /**
+     * As wait(), but gives up after @p deadline.
+     * @return true when signalled, false on timeout.
+     */
+    bool waitUntil(SgxThreadMutex &mutex, Cycles deadline);
+
+    /** Wake one waiter. */
+    void signal();
+
+    /** Wake every waiter. */
+    void broadcast();
+
+    /** @return the number of fibers currently waiting. */
+    std::size_t waiterCount() const { return waiters_.waiterCount(); }
+
+  private:
+    mem::Machine &machine_;
+    sim::WaitQueue waiters_;
+};
+
+} // namespace hc::sdk
+
+#endif // HC_SDK_THREAD_SYNC_HH

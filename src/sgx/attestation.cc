@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Attestation implementation.
+ */
+
+#include "sgx/attestation.hh"
+
+namespace hc::sgx {
+
+namespace {
+
+crypto::Sha256Digest
+signQuote(const crypto::Sha256Digest &key, const Report &report)
+{
+    // Sign over the whole report (body and MAC): a verifier must
+    // detect any field of the quoted report being swapped out.
+    std::vector<std::uint8_t> body;
+    body.insert(body.end(), report.mrenclave.begin(),
+                report.mrenclave.end());
+    for (int i = 0; i < 8; ++i)
+        body.push_back(
+            static_cast<std::uint8_t>(report.enclaveId >> (8 * i)));
+    body.insert(body.end(), report.reportData.begin(),
+                report.reportData.end());
+    body.insert(body.end(), report.mac.begin(), report.mac.end());
+    return crypto::hmacSha256(key.data(), key.size(), body.data(),
+                              body.size());
+}
+
+} // anonymous namespace
+
+Quote
+makeQuote(const SgxPlatform &platform, const Report &report)
+{
+    Quote quote;
+    quote.report = report;
+    quote.deviceId = platform.deviceId();
+    quote.signature = signQuote(platform.attestationKey(), report);
+    return quote;
+}
+
+void
+AttestationService::registerDevice(const SgxPlatform &platform)
+{
+    devices_[platform.deviceId()] = platform.attestationKey();
+}
+
+bool
+AttestationService::verifyQuote(const Quote &quote) const
+{
+    const auto it = devices_.find(quote.deviceId);
+    if (it == devices_.end())
+        return false; // unknown device: not a genuine registered CPU
+    return signQuote(it->second, quote.report) == quote.signature;
+}
+
+} // namespace hc::sgx

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Remote attestation: quotes and a simulated Intel Attestation
+ * Service (IAS).
+ *
+ * In real SGX the quoting enclave signs a local report with an EPID
+ * private key whose group public key Intel's service knows; a remote
+ * verifier sends the quote to IAS and trusts Intel's answer. This
+ * model keeps the protocol shape with symmetric primitives: each
+ * device's attestation key is derived from its fused secret, and the
+ * AttestationService plays Intel's database that can recompute it.
+ */
+
+#ifndef HC_SGX_ATTESTATION_HH
+#define HC_SGX_ATTESTATION_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/sha256.hh"
+#include "sgx/platform.hh"
+
+namespace hc::sgx {
+
+/** A quote: a report counter-signed with the device attestation key. */
+struct Quote {
+    Report report;
+    std::uint64_t deviceId = 0;
+    crypto::Sha256Digest signature{};
+};
+
+/** Produce a quote for @p report on @p platform (quoting enclave). */
+Quote makeQuote(const SgxPlatform &platform, const Report &report);
+
+/** The simulated Intel Attestation Service. */
+class AttestationService
+{
+  public:
+    /** Register a device (models Intel recording keys at fab time). */
+    void registerDevice(const SgxPlatform &platform);
+
+    /**
+     * Verify that @p quote was produced by a registered genuine
+     * device and that its report MAC chain is intact.
+     */
+    bool verifyQuote(const Quote &quote) const;
+
+  private:
+    std::unordered_map<std::uint64_t, crypto::Sha256Digest> devices_;
+};
+
+} // namespace hc::sgx
+
+#endif // HC_SGX_ATTESTATION_HH

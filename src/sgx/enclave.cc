@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Enclave implementation.
+ */
+
+#include "sgx/enclave.hh"
+
+#include "support/logging.hh"
+
+namespace hc::sgx {
+
+Enclave::Enclave(mem::Machine &machine, EnclaveId id, std::string name)
+    : machine_(machine), id_(id), name_(std::move(name))
+{
+}
+
+Enclave::~Enclave()
+{
+    auto &space = machine_.space();
+    if (secsAddr_)
+        space.free(secsAddr_);
+    if (untrustedCtxAddr_)
+        space.free(untrustedCtxAddr_);
+    for (const auto &tcs : tcss_) {
+        space.free(tcs->addr);
+        space.free(tcs->ssaAddr);
+    }
+}
+
+const crypto::Sha256Digest &
+Enclave::measurement() const
+{
+    hc_assert(initialized_);
+    return measurement_;
+}
+
+Addr
+Enclave::allocHeap(std::uint64_t size, std::uint64_t align)
+{
+    hc_assert(initialized_);
+    return machine_.space().allocEpc(size, align);
+}
+
+void
+Enclave::freeHeap(Addr addr)
+{
+    machine_.space().free(addr);
+}
+
+Tcs *
+Enclave::acquireTcs()
+{
+    for (auto &tcs : tcss_) {
+        if (!tcs->busy) {
+            tcs->busy = true;
+            return tcs.get();
+        }
+    }
+    return nullptr;
+}
+
+void
+Enclave::releaseTcs(Tcs *tcs)
+{
+    hc_assert(tcs && tcs->busy);
+    tcs->busy = false;
+}
+
+std::vector<Addr>
+Enclave::tcsLines(const Tcs &tcs) const
+{
+    std::vector<Addr> lines;
+    lines.reserve(static_cast<std::size_t>(tcsLinesPerTcs_ +
+                                           ssaLinesPerTcs_));
+    for (int i = 0; i < tcsLinesPerTcs_; ++i)
+        lines.push_back(tcs.addr + static_cast<Addr>(i) *
+                                       kCacheLineSize);
+    for (int i = 0; i < ssaLinesPerTcs_; ++i)
+        lines.push_back(tcs.ssaAddr + static_cast<Addr>(i) *
+                                          kCacheLineSize);
+    return lines;
+}
+
+} // namespace hc::sgx

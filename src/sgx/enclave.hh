@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Secure enclave: identity, measurement, management structures.
+ *
+ * An Enclave bundles what the SGX architecture keeps per enclave: the
+ * SECS (SGX Enclave Control Structure), a pool of TCSs (Thread
+ * Control Structures) each with its SSA (State Save Area), the
+ * MRENCLAVE measurement accumulated over the pages added at build
+ * time, and an EPC heap for the trusted runtime. Enclaves are built
+ * through SgxPlatform (ECREATE/EADD/EEXTEND/EINIT) and entered
+ * through it (EENTER/ERESUME).
+ */
+
+#ifndef HC_SGX_ENCLAVE_HH
+#define HC_SGX_ENCLAVE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hh"
+#include "mem/machine.hh"
+#include "support/units.hh"
+
+namespace hc::sgx {
+
+class SgxPlatform;
+
+/** Enclave identifier assigned at ECREATE. */
+using EnclaveId = std::uint64_t;
+
+/** Page permissions recorded in the measurement. */
+enum class PageFlags : std::uint8_t {
+    Reg = 0,  //!< regular data page
+    Code = 1, //!< executable page
+    Tcs = 2,  //!< thread control structure page
+};
+
+/** A Thread Control Structure with its State Save Area. */
+struct Tcs {
+    Addr addr = 0;    //!< simulated EPC address of the TCS page
+    Addr ssaAddr = 0; //!< simulated EPC address of the SSA frames
+    bool busy = false;
+};
+
+/** A secure enclave instance. */
+class Enclave
+{
+  public:
+    ~Enclave();
+
+    Enclave(const Enclave &) = delete;
+    Enclave &operator=(const Enclave &) = delete;
+
+    EnclaveId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    /** @return true once EINIT completed. */
+    bool initialized() const { return initialized_; }
+
+    /** @return MRENCLAVE: SHA-256 over the build log. */
+    const crypto::Sha256Digest &measurement() const;
+
+    /** @return number of TCSs (max concurrent enclave threads). */
+    std::size_t tcsCount() const { return tcss_.size(); }
+
+    /** @return bytes of code/data added at build time. */
+    std::uint64_t measuredBytes() const { return measuredBytes_; }
+
+    // ------------------------------------------------------------------
+    // Trusted heap (used by the trusted runtime for `in`/`out` buffer
+    // allocations and by applications for enclave-resident data).
+    // ------------------------------------------------------------------
+
+    /** Allocate EPC heap memory. */
+    Addr allocHeap(std::uint64_t size, std::uint64_t align = 16);
+
+    /** Free EPC heap memory from allocHeap(). */
+    void freeHeap(Addr addr);
+
+    // ------------------------------------------------------------------
+    // TCS pool.
+    // ------------------------------------------------------------------
+
+    /** @return a free TCS, or nullptr when all are busy. */
+    Tcs *acquireTcs();
+
+    /** Return a TCS acquired with acquireTcs(). */
+    void releaseTcs(Tcs *tcs);
+
+    // ------------------------------------------------------------------
+    // Modelled structure addresses (used by the call-path pricing).
+    // ------------------------------------------------------------------
+
+    /** SECS cache lines touched by EENTER/EEXIT. */
+    const std::vector<Addr> &secsLines() const { return secsLines_; }
+
+    /** TCS+SSA cache lines of @p tcs. */
+    std::vector<Addr> tcsLines(const Tcs &tcs) const;
+
+    /** Untrusted-runtime context lines touched by the SDK wrapper. */
+    const std::vector<Addr> &untrustedCtxLines() const
+    {
+        return untrustedCtxLines_;
+    }
+
+  private:
+    friend class SgxPlatform;
+
+    Enclave(mem::Machine &machine, EnclaveId id, std::string name);
+
+    mem::Machine &machine_;
+    EnclaveId id_;
+    std::string name_;
+    bool initialized_ = false;
+
+    crypto::Sha256 buildHasher_;
+    crypto::Sha256Digest measurement_{};
+    std::uint64_t measuredBytes_ = 0;
+
+    Addr secsAddr_ = 0;
+    std::vector<Addr> secsLines_;
+    std::vector<Addr> untrustedCtxLines_;
+    Addr untrustedCtxAddr_ = 0;
+    std::vector<std::unique_ptr<Tcs>> tcss_;
+
+    int tcsLinesPerTcs_ = 2;
+    int ssaLinesPerTcs_ = 4;
+};
+
+} // namespace hc::sgx
+
+#endif // HC_SGX_ENCLAVE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * EPC paging manager implementation.
+ */
+
+#include "sgx/epc_manager.hh"
+
+#include "support/logging.hh"
+
+namespace hc::sgx {
+
+EpcManager::EpcManager(mem::Machine &machine,
+                       const SgxCostParams &params)
+    : machine_(machine), params_(params),
+      capacityPages_(machine.memParams().epcSize / kPageSize)
+{
+    hc_assert(capacityPages_ > 0);
+    machine_.memory().setPageTouchHook(
+        [this](Addr page, bool write) { return touch(page, write); });
+}
+
+EpcManager::~EpcManager()
+{
+    machine_.memory().setPageTouchHook(nullptr);
+}
+
+Cycles
+EpcManager::touch(Addr page, bool)
+{
+    if (!enabled_)
+        return 0;
+
+    auto it = resident_.find(page);
+    if (it != resident_.end()) {
+        // Move to MRU position unless already there.
+        if (it->second != lru_.begin())
+            lru_.splice(lru_.begin(), lru_, it->second);
+        return 0;
+    }
+
+    // Not resident. A page seen for the first time is EAUG'd
+    // (zero-filled, effectively free); a page that was previously
+    // evicted must be reloaded with ELDU (fetch+decrypt+verify).
+    Cycles cost = 0;
+    if (pagedOut_.erase(page) > 0) {
+        ++faults_;
+        cost += params_.eldu;
+    }
+    if (resident_.size() >= capacityPages_) {
+        const Addr victim = lru_.back();
+        lru_.pop_back();
+        resident_.erase(victim);
+        pagedOut_.insert(victim);
+        ++evictions_;
+        cost += params_.ewb;
+    }
+    lru_.push_front(page);
+    resident_[page] = lru_.begin();
+    return cost;
+}
+
+} // namespace hc::sgx

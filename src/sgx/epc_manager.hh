@@ -1,0 +1,78 @@
+/**
+ * @file
+ * EPC paging manager (EWB / ELDU).
+ *
+ * The EPC holds 93 MiB on the paper's machine. When enclave working
+ * sets exceed it (libquantum at 96 MiB, Section 3.4), the kernel
+ * pages encrypted pages out (EWB: re-encrypt with a paging key, MAC,
+ * write to regular memory) and back in (ELDU). This manager tracks
+ * page residency with LRU replacement and charges the paging costs
+ * through the memory model's page-touch hook.
+ */
+
+#ifndef HC_SGX_EPC_MANAGER_HH
+#define HC_SGX_EPC_MANAGER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mem/machine.hh"
+#include "sgx/sgx_cost_params.hh"
+
+namespace hc::sgx {
+
+/** Tracks EPC page residency and prices faults. */
+class EpcManager
+{
+  public:
+    /**
+     * @param machine  platform whose memory model to hook
+     * @param params   paging costs (ewb/eldu)
+     */
+    EpcManager(mem::Machine &machine, const SgxCostParams &params);
+
+    ~EpcManager();
+
+    EpcManager(const EpcManager &) = delete;
+    EpcManager &operator=(const EpcManager &) = delete;
+
+    /**
+     * Record a touch of @p page.
+     * @return extra cycles: 0 when resident, ELDU (+EWB when a victim
+     *         had to be evicted) on a fault.
+     */
+    Cycles touch(Addr page, bool write);
+
+    /** @return demand faults taken so far. */
+    std::uint64_t faults() const { return faults_; }
+
+    /** @return victim evictions performed so far. */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** @return currently resident pages. */
+    std::uint64_t residentPages() const { return resident_.size(); }
+
+    /** @return the residency capacity in pages. */
+    std::uint64_t capacityPages() const { return capacityPages_; }
+
+    /** Enable/disable paging modelling (enabled by default). */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+  private:
+    mem::Machine &machine_;
+    SgxCostParams params_;
+    std::uint64_t capacityPages_;
+    bool enabled_ = true;
+
+    std::list<Addr> lru_; //!< front = most recently used
+    std::unordered_map<Addr, std::list<Addr>::iterator> resident_;
+    std::unordered_set<Addr> pagedOut_; //!< evicted, reload needs ELDU
+    std::uint64_t faults_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace hc::sgx
+
+#endif // HC_SGX_EPC_MANAGER_HH

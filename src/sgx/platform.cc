@@ -1,0 +1,362 @@
+/**
+ * @file
+ * SgxPlatform implementation.
+ */
+
+#include "sgx/platform.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace hc::sgx {
+
+namespace {
+
+/** Serialize the MACed portion of a report. */
+std::vector<std::uint8_t>
+reportBody(const Report &report)
+{
+    std::vector<std::uint8_t> body;
+    body.insert(body.end(), report.mrenclave.begin(),
+                report.mrenclave.end());
+    for (int i = 0; i < 8; ++i)
+        body.push_back(
+            static_cast<std::uint8_t>(report.enclaveId >> (8 * i)));
+    body.insert(body.end(), report.reportData.begin(),
+                report.reportData.end());
+    return body;
+}
+
+} // anonymous namespace
+
+SgxPlatform::SgxPlatform(mem::Machine &machine, SgxCostParams params)
+    : machine_(machine), params_(params)
+{
+    epcManager_ = std::make_unique<EpcManager>(machine_, params_);
+    coreStates_.resize(
+        static_cast<std::size_t>(machine_.engine().numCores()));
+    deviceId_ = machine_.engine().rng().next();
+    // Both master secrets are fused at manufacturing; this model keeps
+    // a single secret and derives the key hierarchy from it.
+    masterSecret_ = crypto::hmacSha256(&deviceId_, sizeof(deviceId_),
+                                       "fused-master-secret", 19);
+}
+
+SgxPlatform::~SgxPlatform() = default;
+
+SgxPlatform::CoreState &
+SgxPlatform::coreState()
+{
+    return coreStates_[static_cast<std::size_t>(machine_.currentCore())];
+}
+
+const SgxPlatform::CoreState &
+SgxPlatform::coreState(CoreId core) const
+{
+    return coreStates_[static_cast<std::size_t>(core)];
+}
+
+Enclave &
+SgxPlatform::ecreate(const std::string &name)
+{
+    std::unique_ptr<Enclave> enclave(
+        new Enclave(machine_, nextId_++, name));
+
+    auto &space = machine_.space();
+    // SECS page (only the lines EENTER actually touches are listed in
+    // the modelled working set).
+    enclave->secsAddr_ = space.allocEpc(kPageSize, kPageSize);
+    for (int i = 0; i < params_.secsLines; ++i)
+        enclave->secsLines_.push_back(enclave->secsAddr_ +
+                                      static_cast<Addr>(i) *
+                                          kCacheLineSize);
+    // Untrusted runtime context (enclave object, fn tables, AEP ...).
+    const std::uint64_t ctx_bytes =
+        static_cast<std::uint64_t>(params_.untrustedCtxLines) *
+        kCacheLineSize;
+    enclave->untrustedCtxAddr_ =
+        space.allocUntrusted(ctx_bytes, kCacheLineSize);
+    for (int i = 0; i < params_.untrustedCtxLines; ++i)
+        enclave->untrustedCtxLines_.push_back(
+            enclave->untrustedCtxAddr_ +
+            static_cast<Addr>(i) * kCacheLineSize);
+
+    enclave->tcsLinesPerTcs_ = params_.tcsLines;
+    enclave->ssaLinesPerTcs_ = params_.ssaLines;
+
+    // ECREATE starts the measurement over the SECS attributes.
+    enclave->buildHasher_.update("ECREATE", 7);
+    enclave->buildHasher_.update(name);
+
+    Enclave &ref = *enclave;
+    enclaves_.push_back(std::move(enclave));
+    return ref;
+}
+
+void
+SgxPlatform::eadd(Enclave &enclave, const void *page_content,
+                  std::size_t len, PageFlags flags)
+{
+    hc_assert(!enclave.initialized_);
+    hc_assert(len <= kPageSize);
+
+    // EADD measures the page metadata; EEXTEND measures the content
+    // in 256-byte chunks. We fold both into the build hasher.
+    enclave.buildHasher_.update("EADD", 4);
+    const auto flag_byte = static_cast<std::uint8_t>(flags);
+    enclave.buildHasher_.update(&flag_byte, 1);
+
+    std::uint8_t chunk[256];
+    const auto *content = static_cast<const std::uint8_t *>(page_content);
+    std::size_t off = 0;
+    while (off < len) {
+        const std::size_t take = std::min<std::size_t>(256, len - off);
+        std::memset(chunk, 0, sizeof(chunk));
+        std::memcpy(chunk, content + off, take);
+        enclave.buildHasher_.update("EEXTEND", 7);
+        enclave.buildHasher_.update(chunk, sizeof(chunk));
+        off += take;
+    }
+    enclave.measuredBytes_ += len;
+}
+
+void
+SgxPlatform::addCode(Enclave &enclave, const void *blob, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(blob);
+    std::size_t off = 0;
+    while (off < len) {
+        const std::size_t take =
+            std::min<std::size_t>(kPageSize, len - off);
+        eadd(enclave, bytes + off, take, PageFlags::Code);
+        off += take;
+    }
+}
+
+void
+SgxPlatform::einit(Enclave &enclave, int num_tcs)
+{
+    hc_assert(!enclave.initialized_);
+    hc_assert(num_tcs > 0);
+
+    auto &space = machine_.space();
+    for (int i = 0; i < num_tcs; ++i) {
+        auto tcs = std::make_unique<Tcs>();
+        tcs->addr = space.allocEpc(kPageSize, kPageSize);
+        tcs->ssaAddr = space.allocEpc(kPageSize, kPageSize);
+        eadd(enclave, "TCS", 3, PageFlags::Tcs);
+        enclave.tcss_.push_back(std::move(tcs));
+    }
+
+    enclave.buildHasher_.update("EINIT", 5);
+    enclave.measurement_ = enclave.buildHasher_.finish();
+    enclave.initialized_ = true;
+}
+
+std::pair<Cycles, Cycles>
+SgxPlatform::touchLines(const std::vector<Addr> &lines, bool write)
+{
+    Cycles total = 0;
+    Cycles miss_portion = 0;
+    auto &memory = machine_.memory();
+    const Cycles miss_floor = machine_.memParams().cacheToCache;
+    for (Addr line : lines) {
+        const Cycles c = memory.accessWord(line, write,
+                                           /*charge_time=*/false);
+        total += c;
+        if (c > miss_floor)
+            miss_portion += c;
+    }
+    return {total, miss_portion};
+}
+
+void
+SgxPlatform::chargeStage(Cycles fixed, const std::vector<Addr> &lines,
+                         bool write)
+{
+    const auto [line_cost, miss_portion] = touchLines(lines, write);
+    auto &rng = machine_.engine().rng();
+
+    // Misses vary run to run (DRAM bank/row conflicts, prefetch luck);
+    // the warm path has only pipeline-level noise. This produces the
+    // wide cold-call CDF of Fig 2 and the tight warm one.
+    const double miss_jitter = (rng.nextDouble() * 2.0 - 1.0) *
+                               params_.coldJitter *
+                               static_cast<double>(miss_portion);
+    const double warm_noise =
+        rng.nextDouble() * static_cast<double>(params_.warmJitter);
+    // Stages dominated by misses occasionally take much longer
+    // (row-buffer storms, prefetcher interference): the long right
+    // tail of the cold-call CDFs in Fig 2.
+    double tail = 0.0;
+    if (miss_portion > 500 && rng.chance(params_.coldTailChance))
+        tail = rng.nextExponential(params_.coldTailMean);
+
+    double cost = static_cast<double>(fixed) +
+                  static_cast<double>(line_cost) + miss_jitter +
+                  warm_noise + tail;
+    if (cost < 0)
+        cost = 0;
+    machine_.engine().advance(static_cast<Cycles>(cost));
+}
+
+void
+SgxPlatform::eenter(Enclave &enclave, Tcs &tcs)
+{
+    if (!enclave.initialized_)
+        throw SgxFault("EENTER: enclave not initialized");
+    auto &state = coreState();
+    if (!state.frames.empty() && !state.frames.back().inOcall)
+        throw SgxFault("EENTER: core already in enclave mode");
+
+    // EENTER validates SECS/TCS, saves the untrusted context, loads
+    // the enclave context, and suppresses debug/trace facilities.
+    std::vector<Addr> lines = enclave.secsLines_;
+    const auto tcs_lines = enclave.tcsLines(tcs);
+    lines.insert(lines.end(), tcs_lines.begin(), tcs_lines.end());
+    chargeStage(params_.eenterUcode, lines, /*write=*/true);
+
+    state.frames.push_back({&enclave, &tcs, false});
+}
+
+void
+SgxPlatform::eexit()
+{
+    auto &state = coreState();
+    if (state.frames.empty() || state.frames.back().inOcall)
+        throw SgxFault("EEXIT: core not in enclave mode");
+    Enclave *enclave = state.frames.back().enclave;
+    state.frames.pop_back();
+    chargeStage(params_.eexitUcode, enclave->secsLines_,
+                /*write=*/false);
+}
+
+void
+SgxPlatform::eexitForOcall()
+{
+    auto &state = coreState();
+    if (state.frames.empty() || state.frames.back().inOcall)
+        throw SgxFault("EEXIT (ocall): core not in enclave mode");
+    state.frames.back().inOcall = true;
+    chargeStage(params_.eexitUcode,
+                state.frames.back().enclave->secsLines_,
+                /*write=*/false);
+}
+
+void
+SgxPlatform::eresume()
+{
+    auto &state = coreState();
+    if (state.frames.empty() || !state.frames.back().inOcall)
+        throw SgxFault("ERESUME: no interrupted enclave frame");
+    auto &frame = state.frames.back();
+    frame.inOcall = false;
+    std::vector<Addr> lines = frame.enclave->secsLines_;
+    const auto tcs_lines = frame.enclave->tcsLines(*frame.tcs);
+    lines.insert(lines.end(), tcs_lines.begin(), tcs_lines.end());
+    chargeStage(params_.eresumeUcode, lines, /*write=*/true);
+}
+
+bool
+SgxPlatform::inEnclave(CoreId core) const
+{
+    const auto &state = coreState(core);
+    return !state.frames.empty() && !state.frames.back().inOcall;
+}
+
+Enclave *
+SgxPlatform::currentEnclave(CoreId core) const
+{
+    const auto &state = coreState(core);
+    if (state.frames.empty())
+        return nullptr;
+    return state.frames.back().enclave;
+}
+
+Cycles
+SgxPlatform::rdtscp()
+{
+    if (inEnclave(machine_.currentCore()))
+        throw SgxFault("RDTSCP inside enclave (#UD on production SGX)");
+    if (machine_.engine().currentThread())
+        machine_.engine().advance(32); // serialized timestamp read
+    return machine_.now();
+}
+
+void
+SgxPlatform::installAexHandler()
+{
+    machine_.engine().setInterruptHandler(
+        [this](CoreId core, Cycles) -> Cycles {
+            if (!inEnclave(core))
+                return params_.interruptService;
+            // Asynchronous Exit: spill the enclave context into the
+            // SSA, exit to the AEP, service the interrupt in the OS,
+            // then ERESUME back into the enclave.
+            ++aexCount_;
+            return params_.aexUcode + params_.interruptService +
+                   params_.eresumeUcode;
+        });
+}
+
+crypto::Sha256Digest
+SgxPlatform::egetkeySeal()
+{
+    Enclave *enclave = currentEnclave(machine_.currentCore());
+    if (!enclave || !inEnclave(machine_.currentCore()))
+        throw SgxFault("EGETKEY outside enclave mode");
+    machine_.engine().advance(params_.egetkey);
+
+    std::vector<std::uint8_t> info;
+    const char *label = "SEAL";
+    info.insert(info.end(), label, label + 4);
+    info.insert(info.end(), enclave->measurement_.begin(),
+                enclave->measurement_.end());
+    return crypto::hmacSha256(masterSecret_.data(),
+                              masterSecret_.size(), info.data(),
+                              info.size());
+}
+
+Report
+SgxPlatform::ereport(const std::array<std::uint8_t, 64> &report_data)
+{
+    Enclave *enclave = currentEnclave(machine_.currentCore());
+    if (!enclave || !inEnclave(machine_.currentCore()))
+        throw SgxFault("EREPORT outside enclave mode");
+    machine_.engine().advance(params_.ereport);
+
+    Report report;
+    report.mrenclave = enclave->measurement_;
+    report.enclaveId = enclave->id_;
+    report.reportData = report_data;
+    const auto body = reportBody(report);
+    const auto report_key = crypto::hmacSha256(
+        masterSecret_.data(), masterSecret_.size(), "REPORT", 6);
+    report.mac = crypto::hmacSha256(report_key.data(),
+                                    report_key.size(), body.data(),
+                                    body.size());
+    return report;
+}
+
+bool
+SgxPlatform::verifyReport(const Report &report) const
+{
+    const auto body = reportBody(report);
+    const auto report_key = crypto::hmacSha256(
+        masterSecret_.data(), masterSecret_.size(), "REPORT", 6);
+    const auto mac = crypto::hmacSha256(report_key.data(),
+                                        report_key.size(), body.data(),
+                                        body.size());
+    return mac == report.mac;
+}
+
+crypto::Sha256Digest
+SgxPlatform::attestationKey() const
+{
+    return crypto::hmacSha256(masterSecret_.data(),
+                              masterSecret_.size(), "ATTEST", 6);
+}
+
+} // namespace hc::sgx

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * SgxPlatform: the SGX instruction-set model of one machine.
+ *
+ * Implements the functional + timed behaviour of the SGX leaf
+ * functions the paper exercises: the build flow (ECREATE, EADD,
+ * EEXTEND, EINIT), the entry/exit flow (EENTER, EEXIT, ERESUME, AEX),
+ * key derivation and reporting (EGETKEY, EREPORT), and EPC paging
+ * (EWB/ELDU via EpcManager). Per-core enclave mode is tracked so the
+ * platform can enforce enclave-mode rules (RDTSC faults, AEX on
+ * interrupts) and the SDK can compose ecalls/ocalls.
+ */
+
+#ifndef HC_SGX_PLATFORM_HH
+#define HC_SGX_PLATFORM_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hh"
+#include "mem/machine.hh"
+#include "sgx/enclave.hh"
+#include "sgx/epc_manager.hh"
+#include "sgx/sgx_cost_params.hh"
+
+namespace hc::sgx {
+
+/** Thrown when code violates an enclave-mode rule (models #UD/#GP). */
+class SgxFault : public std::runtime_error
+{
+  public:
+    explicit SgxFault(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** An attestation report produced by EREPORT. */
+struct Report {
+    crypto::Sha256Digest mrenclave{};
+    EnclaveId enclaveId = 0;
+    std::array<std::uint8_t, 64> reportData{};
+    crypto::Sha256Digest mac{}; //!< keyed with the device report key
+};
+
+/** The SGX-capable processor model. */
+class SgxPlatform
+{
+  public:
+    /**
+     * @param machine  the platform to extend with SGX
+     * @param params   call-path cost parameters
+     */
+    explicit SgxPlatform(mem::Machine &machine,
+                         SgxCostParams params = {});
+
+    ~SgxPlatform();
+
+    SgxPlatform(const SgxPlatform &) = delete;
+    SgxPlatform &operator=(const SgxPlatform &) = delete;
+
+    mem::Machine &machine() { return machine_; }
+    const SgxCostParams &params() const { return params_; }
+    EpcManager &epc() { return *epcManager_; }
+
+    // ------------------------------------------------------------------
+    // Build flow.
+    // ------------------------------------------------------------------
+
+    /** ECREATE: allocate the SECS and start the measurement. */
+    Enclave &ecreate(const std::string &name);
+
+    /**
+     * EADD + EEXTEND: add one page of content to the enclave and
+     * extend MRENCLAVE over its metadata and contents.
+     */
+    void eadd(Enclave &enclave, const void *page_content,
+              std::size_t len, PageFlags flags);
+
+    /** Convenience: EADD a whole blob page by page as code. */
+    void addCode(Enclave &enclave, const void *blob, std::size_t len);
+
+    /**
+     * EINIT: finalize the measurement and enable entry.
+     *
+     * @param num_tcs  TCS pool size (max concurrent enclave threads)
+     */
+    void einit(Enclave &enclave, int num_tcs);
+
+    // ------------------------------------------------------------------
+    // Entry/exit flow. These charge the modelled cycle costs and
+    // track per-core enclave mode; the SDK composes them into ecalls
+    // and ocalls.
+    // ------------------------------------------------------------------
+
+    /**
+     * EENTER through @p tcs. Faults when the enclave is not
+     * initialized or the core is already in enclave mode on this TCS.
+     */
+    void eenter(Enclave &enclave, Tcs &tcs);
+
+    /** EEXIT: leave enclave mode (completing an ecall). */
+    void eexit();
+
+    /**
+     * EEXIT for an ocall: leaves enclave mode but keeps the logical
+     * call frame so eresume() returns to the interrupted ecall.
+     */
+    void eexitForOcall();
+
+    /** ERESUME after an ocall (or AEX): re-enter the enclave. */
+    void eresume();
+
+    /** @return true when @p core is executing inside an enclave. */
+    bool inEnclave(CoreId core) const;
+
+    /** @return the enclave @p core is currently inside, or nullptr. */
+    Enclave *currentEnclave(CoreId core) const;
+
+    /**
+     * RDTSCP as seen by software: faults (SgxFault) inside an enclave
+     * (production SGX v1 forbids it), otherwise returns the cycle
+     * counter with the instruction's serialization cost charged.
+     */
+    Cycles rdtscp();
+
+    // ------------------------------------------------------------------
+    // AEX accounting (Section 3.1 methodology).
+    // ------------------------------------------------------------------
+
+    /**
+     * Install this platform's AEX behaviour as the engine's interrupt
+     * handler: an interrupt on a core in enclave mode saves state to
+     * the SSA, exits, services the OS, and ERESUMEs.
+     */
+    void installAexHandler();
+
+    /** @return AEX events taken so far on any core. */
+    std::uint64_t aexCount() const { return aexCount_; }
+
+    // ------------------------------------------------------------------
+    // Keys and attestation.
+    // ------------------------------------------------------------------
+
+    /**
+     * EGETKEY: derive a sealing key bound to the calling enclave's
+     * measurement. Faults outside enclave mode.
+     */
+    crypto::Sha256Digest egetkeySeal();
+
+    /**
+     * EREPORT: produce a MACed report over the current enclave's
+     * measurement and @p report_data. Faults outside enclave mode.
+     */
+    Report ereport(const std::array<std::uint8_t, 64> &report_data);
+
+    /** Verify a report's MAC with the device report key (local). */
+    bool verifyReport(const Report &report) const;
+
+    /** @return the per-device attestation secret (for the IAS sim). */
+    std::uint64_t deviceId() const { return deviceId_; }
+    crypto::Sha256Digest attestationKey() const;
+
+    // ------------------------------------------------------------------
+    // Call-path composition helper (shared with the SDK runtime).
+    // ------------------------------------------------------------------
+
+    /**
+     * Charge one call-path stage: @p fixed instruction cycles plus a
+     * priced touch of the modelled structure @p lines, with cold-miss
+     * jitter applied to the miss portion.
+     */
+    void chargeStage(Cycles fixed, const std::vector<Addr> &lines,
+                     bool write);
+
+  private:
+    struct CoreState {
+        /** Stack of (enclave, tcs) frames; ocalls leave the frame. */
+        struct Frame {
+            Enclave *enclave = nullptr;
+            Tcs *tcs = nullptr;
+            bool inOcall = false;
+        };
+        std::vector<Frame> frames;
+    };
+
+    /** Touch modelled structure lines; returns (total, missPortion). */
+    std::pair<Cycles, Cycles> touchLines(const std::vector<Addr> &lines,
+                                         bool write);
+
+    CoreState &coreState();
+    const CoreState &coreState(CoreId core) const;
+
+    mem::Machine &machine_;
+    SgxCostParams params_;
+    std::unique_ptr<EpcManager> epcManager_;
+    std::vector<CoreState> coreStates_;
+    std::vector<std::unique_ptr<Enclave>> enclaves_;
+    EnclaveId nextId_ = 1;
+    std::uint64_t aexCount_ = 0;
+    std::uint64_t deviceId_;
+    crypto::Sha256Digest masterSecret_; //!< fused at "manufacturing"
+};
+
+} // namespace hc::sgx
+
+#endif // HC_SGX_PLATFORM_HH

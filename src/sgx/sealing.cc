@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sealing implementation.
+ */
+
+#include "sgx/sealing.hh"
+
+#include <cstring>
+
+#include "crypto/chacha20.hh"
+#include "support/logging.hh"
+
+namespace hc::sgx {
+
+namespace {
+
+/** Crypto cost of the AEAD pass (AES-GCM-class throughput). */
+constexpr double kSealPerByte = 2.2;
+constexpr Cycles kSealFixed = 1'200;
+
+crypto::ChaChaKey
+deriveKey(SgxPlatform &platform)
+{
+    // EGETKEY binds the key to measurement + device secret; its
+    // digest is exactly key-sized.
+    const crypto::Sha256Digest digest = platform.egetkeySeal();
+    crypto::ChaChaKey key;
+    std::memcpy(key.data(), digest.data(), key.size());
+    return key;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+sealData(SgxPlatform &platform, const std::uint8_t *data,
+         std::uint64_t len)
+{
+    const crypto::ChaChaKey key = deriveKey(platform);
+
+    std::vector<std::uint8_t> blob(kSealOverhead + len);
+    crypto::ChaChaNonce nonce;
+    auto &rng = platform.machine().engine().rng();
+    for (auto &b : nonce)
+        b = static_cast<std::uint8_t>(rng.next());
+    std::memcpy(blob.data(), nonce.data(), nonce.size());
+
+    crypto::PolyTag tag;
+    crypto::aeadSeal(key, nonce, nullptr, 0, data, len,
+                     blob.data() + 12, &tag);
+    std::memcpy(blob.data() + 12 + len, tag.data(), tag.size());
+
+    if (platform.machine().engine().currentThread()) {
+        platform.machine().engine().advance(
+            kSealFixed + static_cast<Cycles>(
+                             static_cast<double>(len) * kSealPerByte));
+    }
+    return blob;
+}
+
+bool
+unsealData(SgxPlatform &platform, const std::uint8_t *blob,
+           std::uint64_t len, std::vector<std::uint8_t> *out)
+{
+    if (len < kSealOverhead)
+        return false;
+    const crypto::ChaChaKey key = deriveKey(platform);
+
+    crypto::ChaChaNonce nonce;
+    std::memcpy(nonce.data(), blob, nonce.size());
+    const std::uint64_t ct_len = len - kSealOverhead;
+    crypto::PolyTag tag;
+    std::memcpy(tag.data(), blob + 12 + ct_len, tag.size());
+
+    out->assign(ct_len, 0);
+    if (platform.machine().engine().currentThread()) {
+        platform.machine().engine().advance(
+            kSealFixed +
+            static_cast<Cycles>(static_cast<double>(ct_len) *
+                                kSealPerByte));
+    }
+    return crypto::aeadOpen(key, nonce, nullptr, 0, blob + 12,
+                            ct_len, tag, out->data());
+}
+
+} // namespace hc::sgx

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Data sealing (the SDK's sgx_seal_data / sgx_unseal_data).
+ *
+ * Sealing encrypts data under a key derived from the CPU's fused
+ * secret and the calling enclave's measurement (EGETKEY), so a
+ * sealed blob can only be opened by the same enclave on the same
+ * processor — the standard way for enclaves to persist secrets
+ * through untrusted storage. Built on the platform's EGETKEY model
+ * and the library's ChaCha20-Poly1305.
+ */
+
+#ifndef HC_SGX_SEALING_HH
+#define HC_SGX_SEALING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sgx/platform.hh"
+
+namespace hc::sgx {
+
+/** Layout: [12B nonce][ciphertext][16B tag]. */
+constexpr std::uint64_t kSealOverhead = 12 + 16;
+
+/**
+ * Seal @p len bytes under the calling enclave's seal key.
+ * Must be called from enclave mode (EGETKEY faults otherwise).
+ *
+ * @return the sealed blob (safe to hand to untrusted storage)
+ */
+std::vector<std::uint8_t> sealData(SgxPlatform &platform,
+                                   const std::uint8_t *data,
+                                   std::uint64_t len);
+
+/**
+ * Unseal a blob produced by sealData() in the same enclave on the
+ * same processor.
+ *
+ * @param out  receives the plaintext on success
+ * @return false when the blob is malformed, tampered with, or was
+ *         sealed by a different enclave/CPU
+ */
+bool unsealData(SgxPlatform &platform, const std::uint8_t *blob,
+                std::uint64_t len, std::vector<std::uint8_t> *out);
+
+} // namespace hc::sgx
+
+#endif // HC_SGX_SEALING_HH

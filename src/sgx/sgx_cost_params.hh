@@ -1,0 +1,120 @@
+/**
+ * @file
+ * SGX call-path cost parameters.
+ *
+ * These constants decompose the paper's end-to-end call measurements
+ * into the stages its Sections 3.2/3.3 describe. Only the totals are
+ * observable; the split follows the paper's narrative (most cycles go
+ * to EENTER/EEXIT microcode, the rest to the SDK software path).
+ *
+ * Calibration anchors (Table 1):
+ *   row 1/2: empty ecall warm 8,640 / cold 14,170 (spread 12.5k-17k)
+ *   row 4/5: empty ocall warm 8,314 / cold 14,160
+ *   row 3:  ecall + 2 KiB buffer in/out/in&out = 9,861/11,172/10,827
+ *   row 6:  ocall + 2 KiB buffer to/from/to&from = 9,252/11,418/9,801
+ *   Fig 3:  HotCalls median ~620 cycles, 99.97% < 1,400
+ */
+
+#ifndef HC_SGX_SGX_COST_PARAMS_HH
+#define HC_SGX_SGX_COST_PARAMS_HH
+
+#include "support/units.hh"
+
+namespace hc::sgx {
+
+/** Cycle costs of the SGX software + microcode call paths. */
+struct SgxCostParams {
+    // ------------------------------------------------------------------
+    // Microcode (hardware interface).
+    // ------------------------------------------------------------------
+    /** EENTER: SECS/TCS checks, debug suppression, context load. */
+    Cycles eenterUcode = 3'100;
+    /** EEXIT: reverse context switch, un-suppress debug/trace. */
+    Cycles eexitUcode = 2'800;
+    /** ERESUME: like EENTER but restores from the SSA. */
+    Cycles eresumeUcode = 3'150;
+    /** AEX: save state to SSA and exit to the untrusted AEP. */
+    Cycles aexUcode = 3'600;
+    /** OS interrupt service routine (timer tick etc.). */
+    Cycles interruptService = 2'400;
+
+    // ------------------------------------------------------------------
+    // SDK software paths.
+    // ------------------------------------------------------------------
+    /** Untrusted ecall wrapper: enclave lookup, R/W lock, TCS
+     *  selection, AVX state save, FP exception check. */
+    Cycles sdkEcallSoftware = 2'300;
+    /** Trusted-side ecall dispatch (table lookup, frame setup). */
+    Cycles sdkTrustedDispatch = 240;
+    /** Trusted ocall wrapper: marshal setup, ocall frame push. */
+    Cycles sdkOcallSoftware = 2'010;
+    /** Untrusted-side ocall dispatch to the landing function. */
+    Cycles sdkOcallDispatch = 180;
+
+    // ------------------------------------------------------------------
+    // Modelled data-structure working set, in cache lines. On a warm
+    // call these hit; after a full LLC flush they miss, producing the
+    // cold-call cost and spread (the cold/warm delta *emerges* from
+    // the memory model rather than being a constant).
+    // ------------------------------------------------------------------
+    int untrustedCtxLines = 7; //!< enclave object, fn tables, AEP
+    int secsLines = 2;
+    int tcsLines = 2;
+    int ssaLines = 2;
+
+    /** Relative jitter applied to the miss portion of a call
+     *  (DRAM bank/row conflicts vary run to run). */
+    double coldJitter = 0.22;
+    /** Chance a stage with significant misses takes an extra delay
+     *  (row-buffer storms, prefetcher interference): the cold CDF's
+     *  long right tail up to ~17k cycles (Fig 2). */
+    double coldTailChance = 0.10;
+    double coldTailMean = 450;
+    /** Absolute jitter (cycles) on the warm path. */
+    Cycles warmJitter = 40;
+
+    // ------------------------------------------------------------------
+    // Marshalling costs (per byte + fixed), used by the edger8r-style
+    // generated code for both SDK calls and HotCalls. Derived from
+    // Table 1 rows 3 and 6 (see file header).
+    // ------------------------------------------------------------------
+    /** malloc inside the enclave for `in`/`out`/`in&out` ecalls. */
+    Cycles ecallAllocFixed = 110;
+    /** memcpy untrusted -> EPC (ecall `in`). */
+    double ecallCopyInPerByte = 0.545;
+    /** memcpy EPC -> untrusted on return (ecall `out`/`in&out`). */
+    double ecallCopyOutPerByte = 0.47;
+    /** SDK byte-wise memset of the EPC buffer (ecall `out`). */
+    double ecallMemsetPerByte = 0.71;
+
+    /** Untrusted stack alloc for ocall buffers (no malloc). */
+    Cycles ocallAllocFixed = 30;
+    /** memcpy EPC -> untrusted stack (ocall `in`, "to"). */
+    double ocallCopyToPerByte = 0.443;
+    /** memcpy untrusted -> EPC on return (ocall `out`/`in&out`). */
+    double ocallCopyBackPerByte = 0.27;
+    /** SDK byte-wise memset of the untrusted buffer (ocall `out`). */
+    double ocallMemsetPerByte = 1.23;
+
+    /** Word-wise memset alternative (Section 3.5 optimization). */
+    double memsetWordWisePerByte = 0.09;
+
+    // ------------------------------------------------------------------
+    // EPC paging.
+    // ------------------------------------------------------------------
+    /** EWB of a victim page (encrypt + MAC + write out). */
+    Cycles ewb = 7'000;
+    /** ELDU of the demanded page (fetch + decrypt + verify). */
+    Cycles eldu = 5'000;
+
+    // ------------------------------------------------------------------
+    // Attestation-path costs (coarse; not performance-critical in the
+    // paper but part of the platform).
+    // ------------------------------------------------------------------
+    Cycles ereport = 12'000;
+    Cycles egetkey = 9'000;
+};
+
+} // namespace hc::sgx
+
+#endif // HC_SGX_SGX_COST_PARAMS_HH

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Engine implementation.
+ */
+
+#include "sim/engine.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hc::sim {
+
+namespace {
+
+/// Engine owning the fiber currently executing on this host thread.
+thread_local Engine *g_current_engine = nullptr;
+
+constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+} // anonymous namespace
+
+Thread::Thread(Engine &engine, std::string name, CoreId core,
+               std::function<void()> body, std::uint64_t id)
+    : engine_(engine), name_(std::move(name)), core_(core), id_(id)
+{
+    fiber_ = std::make_unique<Fiber>(std::move(body));
+}
+
+Engine::Engine(Config config) : config_(config), rng_(config.seed)
+{
+    hc_assert(config_.numCores > 0);
+    cores_.resize(static_cast<std::size_t>(config_.numCores));
+    if (config_.interruptMeanCycles > 0) {
+        for (auto &core : cores_) {
+            core.nextInterrupt = static_cast<Cycles>(
+                rng_.nextExponential(config_.interruptMeanCycles));
+        }
+    }
+}
+
+Engine::~Engine() = default;
+
+Engine *
+Engine::current()
+{
+    return g_current_engine;
+}
+
+Thread *
+Engine::spawn(std::string name, CoreId core, std::function<void()> body)
+{
+    hc_assert(core >= 0 && core < numCores());
+    std::unique_ptr<Thread> thread(new Thread(
+        *this, std::move(name), core, std::move(body), nextThreadId_++));
+    Thread *raw = thread.get();
+    threads_.push_back(std::move(thread));
+    ++liveThreads_;
+    makeReady(raw, running_ ? now() : 0);
+    return raw;
+}
+
+void
+Engine::makeReady(Thread *thread, Cycles when)
+{
+    thread->state_ = ThreadState::Ready;
+    thread->readyTime_ = when;
+    cores_[static_cast<std::size_t>(thread->core_)].ready.push_back(
+        thread);
+    // A new candidate may precede the running thread's horizon.
+    if (running_)
+        nextEventTime_ = std::min(nextEventTime_, when);
+}
+
+bool
+Engine::nextCandidate(const Core &core, Cycles &time,
+                      Thread *&thread) const
+{
+    if (core.ready.empty())
+        return false;
+    // Pick the ready thread with the earliest eligibility (FIFO on
+    // ties, which the stable scan preserves).
+    Thread *best = nullptr;
+    for (Thread *t : core.ready) {
+        if (!best || t->readyTime_ < best->readyTime_)
+            best = t;
+    }
+    thread = best;
+    time = std::max(core.clock, best->readyTime_);
+    return true;
+}
+
+void
+Engine::refreshNextEvent()
+{
+    nextEventTime_ = kNever;
+    for (const auto &core : cores_) {
+        Cycles t;
+        Thread *th;
+        if (nextCandidate(core, t, th))
+            nextEventTime_ = std::min(nextEventTime_, t);
+    }
+    for (const auto &thread : threads_) {
+        if (thread->state_ == ThreadState::Blocked &&
+            thread->hasTimeout_) {
+            nextEventTime_ =
+                std::min(nextEventTime_, thread->timeoutAt_);
+        }
+    }
+}
+
+void
+Engine::run()
+{
+    hc_assert(!inRun_);
+    inRun_ = true;
+    Engine *prev_engine = g_current_engine;
+    g_current_engine = this;
+
+    while (!stopRequested_ && liveThreads_ > 0) {
+        // Fire any expired waitUntil() timeout that precedes every
+        // runnable candidate: once its deadline is the global minimum,
+        // no earlier notify can still happen.
+        Cycles best_time = kNever;
+        Thread *best_thread = nullptr;
+        std::size_t best_core = 0;
+        for (std::size_t c = 0; c < cores_.size(); ++c) {
+            Cycles t;
+            Thread *th;
+            if (nextCandidate(cores_[c], t, th) && t < best_time) {
+                best_time = t;
+                best_thread = th;
+                best_core = c;
+            }
+        }
+
+        Thread *timeout_thread = nullptr;
+        Cycles timeout_time = kNever;
+        for (const auto &thread : threads_) {
+            if (thread->state_ == ThreadState::Blocked &&
+                thread->hasTimeout_ &&
+                thread->timeoutAt_ < timeout_time) {
+                timeout_time = thread->timeoutAt_;
+                timeout_thread = thread.get();
+            }
+        }
+
+        if (timeout_thread && timeout_time < best_time) {
+            // Expire the wait: detach from its queue and make it ready.
+            WaitQueue *queue = timeout_thread->waitingOn_;
+            hc_assert(queue);
+            auto &waiters = queue->waiters_;
+            waiters.erase(std::find(waiters.begin(), waiters.end(),
+                                    timeout_thread));
+            timeout_thread->waitingOn_ = nullptr;
+            timeout_thread->hasTimeout_ = false;
+            timeout_thread->timedOut_ = true;
+            makeReady(timeout_thread, timeout_time);
+            continue;
+        }
+
+        if (!best_thread) {
+            if (stopRequested_)
+                break;
+            std::string live;
+            for (const auto &thread : threads_) {
+                if (thread->state_ != ThreadState::Done)
+                    live += " " + thread->name_;
+            }
+            fatal("simulation deadlock: no runnable thread among:%s",
+                  live.c_str());
+        }
+
+        // Dispatch.
+        Core &core = cores_[best_core];
+        auto &ready = core.ready;
+        ready.erase(std::find(ready.begin(), ready.end(), best_thread));
+        core.clock = best_time;
+        core.running = best_thread;
+        best_thread->state_ = ThreadState::Running;
+        running_ = best_thread;
+        refreshNextEvent();
+
+        best_thread->fiber_->switchTo();
+
+        running_ = nullptr;
+        core.running = nullptr;
+        if (best_thread->fiber_->finished() ||
+            best_thread->state_ == ThreadState::Done) {
+            if (best_thread->state_ != ThreadState::Done) {
+                best_thread->state_ = ThreadState::Done;
+            }
+            --liveThreads_;
+        }
+    }
+
+    g_current_engine = prev_engine;
+    inRun_ = false;
+}
+
+Cycles
+Engine::now() const
+{
+    if (!running_)
+        return 0;
+    return cores_[static_cast<std::size_t>(running_->core_)].clock;
+}
+
+Cycles
+Engine::coreNow(CoreId core) const
+{
+    hc_assert(core >= 0 && core < numCores());
+    return cores_[static_cast<std::size_t>(core)].clock;
+}
+
+void
+Engine::switchOut()
+{
+    Thread *self = running_;
+    hc_assert(self);
+    self->fiber_->switchBack();
+    // Resumed: we are running again (scheduler restored bookkeeping).
+}
+
+void
+Engine::maybeInterrupt()
+{
+    Thread *self = running_;
+    Core &core = cores_[static_cast<std::size_t>(self->core_)];
+    while (core.clock >= core.nextInterrupt) {
+        ++interruptCount_;
+        const Cycles at = core.nextInterrupt;
+        Cycles handler_cycles = 0;
+        if (interruptHandler_)
+            handler_cycles = interruptHandler_(self->core_, at);
+        core.clock += handler_cycles;
+        // Re-arm from the handler's completion time: a handler that
+        // outlasts the mean inter-arrival must not create an
+        // unbounded interrupt storm.
+        core.nextInterrupt =
+            std::max(at, core.clock) +
+            std::max<Cycles>(
+                1, static_cast<Cycles>(rng_.nextExponential(
+                       config_.interruptMeanCycles)));
+    }
+}
+
+void
+Engine::advance(Cycles cycles)
+{
+    Thread *self = running_;
+    hc_assert(self);
+    Core &core = cores_[static_cast<std::size_t>(self->core_)];
+    core.clock += cycles;
+    if (config_.interruptMeanCycles > 0)
+        maybeInterrupt();
+    if (core.clock >= nextEventTime_) {
+        // Another event precedes (or ties) our clock: let the
+        // scheduler interleave. We stay ready at our current time.
+        self->state_ = ThreadState::Ready;
+        self->readyTime_ = core.clock;
+        core.ready.push_back(self);
+        switchOut();
+    }
+}
+
+void
+Engine::yield()
+{
+    Thread *self = running_;
+    hc_assert(self);
+    Core &core = cores_[static_cast<std::size_t>(self->core_)];
+    if (core.ready.empty())
+        return;
+    self->state_ = ThreadState::Ready;
+    self->readyTime_ = core.clock;
+    core.ready.push_back(self);
+    switchOut();
+}
+
+void
+Engine::sleepUntil(Cycles when)
+{
+    Thread *self = running_;
+    hc_assert(self);
+    Core &core = cores_[static_cast<std::size_t>(self->core_)];
+    self->state_ = ThreadState::Ready;
+    self->readyTime_ = std::max(when, core.clock);
+    core.ready.push_back(self);
+    switchOut();
+}
+
+void
+Engine::wait(WaitQueue &queue)
+{
+    Thread *self = running_;
+    hc_assert(self);
+    self->state_ = ThreadState::Blocked;
+    self->waitingOn_ = &queue;
+    self->hasTimeout_ = false;
+    self->timedOut_ = false;
+    queue.waiters_.push_back(self);
+    switchOut();
+}
+
+bool
+Engine::waitUntil(WaitQueue &queue, Cycles deadline)
+{
+    Thread *self = running_;
+    hc_assert(self);
+    self->state_ = ThreadState::Blocked;
+    self->waitingOn_ = &queue;
+    self->hasTimeout_ = true;
+    self->timeoutAt_ = std::max(deadline, now());
+    self->timedOut_ = false;
+    queue.waiters_.push_back(self);
+    switchOut();
+    return !self->timedOut_;
+}
+
+void
+Engine::notifyOne(WaitQueue &queue)
+{
+    if (queue.waiters_.empty())
+        return;
+    Thread *woken = queue.waiters_.front();
+    queue.waiters_.pop_front();
+    woken->waitingOn_ = nullptr;
+    woken->hasTimeout_ = false;
+    woken->timedOut_ = false;
+    makeReady(woken, now());
+}
+
+void
+Engine::notifyAll(WaitQueue &queue)
+{
+    while (!queue.waiters_.empty())
+        notifyOne(queue);
+}
+
+void
+Engine::exitThread()
+{
+    Thread *self = running_;
+    hc_assert(self);
+    self->state_ = ThreadState::Done;
+    switchOut();
+    panic("exited thread resumed");
+}
+
+void
+Engine::setInterruptHandler(InterruptHandler handler)
+{
+    interruptHandler_ = std::move(handler);
+}
+
+Cycles
+now()
+{
+    Engine *engine = Engine::current();
+    hc_assert(engine);
+    return engine->now();
+}
+
+void
+advance(Cycles cycles)
+{
+    Engine *engine = Engine::current();
+    hc_assert(engine);
+    engine->advance(cycles);
+}
+
+void
+yield()
+{
+    Engine *engine = Engine::current();
+    hc_assert(engine);
+    engine->yield();
+}
+
+} // namespace hc::sim

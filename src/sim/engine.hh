@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Deterministic multi-core discrete-event simulation engine.
+ *
+ * The engine owns N logical cores (default 8, matching the paper's
+ * i7-6700K with hyper-threading). Each simulated thread is a fiber
+ * pinned to one core; a core runs one thread at a time and has its own
+ * cycle clock. The engine always resumes the eligible thread whose
+ * effective start time is globally minimal, so for a fixed seed every
+ * run interleaves identically.
+ *
+ * Threads charge virtual time with advance(); advance() hands control
+ * back to the scheduler whenever the local clock crosses the earliest
+ * pending event elsewhere, which keeps cross-core shared-memory
+ * interactions (the HotCalls channel, spin-locks) correctly ordered in
+ * virtual time while costing a context switch only at real
+ * interleaving points.
+ */
+
+#ifndef HC_SIM_ENGINE_HH
+#define HC_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+
+namespace hc::sim {
+
+class Engine;
+
+/** States a simulated thread moves through. */
+enum class ThreadState {
+    Ready,   //!< eligible to run on its core at readyTime
+    Running, //!< currently executing on its core
+    Blocked, //!< parked on a WaitQueue
+    Done,    //!< body returned
+};
+
+/**
+ * A simulated thread: a fiber pinned to a logical core.
+ *
+ * Thread objects are created by Engine::spawn() and owned by the
+ * engine; user code holds non-owning pointers.
+ */
+class Thread
+{
+  public:
+    /** @return the thread's debug name. */
+    const std::string &name() const { return name_; }
+
+    /** @return the logical core this thread is pinned to. */
+    CoreId core() const { return core_; }
+
+    /** @return the current lifecycle state. */
+    ThreadState state() const { return state_; }
+
+    /** @return true if the last waitUntil() ended by timeout. */
+    bool timedOut() const { return timedOut_; }
+
+    /** @return the unique spawn-order id (deterministic tiebreaker). */
+    std::uint64_t id() const { return id_; }
+
+  private:
+    friend class Engine;
+    friend class WaitQueue;
+
+    Thread(Engine &engine, std::string name, CoreId core,
+           std::function<void()> body, std::uint64_t id);
+
+    Engine &engine_;
+    std::string name_;
+    CoreId core_;
+    std::uint64_t id_;
+    ThreadState state_ = ThreadState::Ready;
+    Cycles readyTime_ = 0;   //!< earliest time the core may run us
+    Cycles timeoutAt_ = 0;   //!< pending waitUntil() deadline
+    bool hasTimeout_ = false;
+    bool timedOut_ = false;
+    class WaitQueue *waitingOn_ = nullptr;
+    std::unique_ptr<Fiber> fiber_;
+};
+
+/**
+ * A condition-variable-like parking lot for simulated threads.
+ *
+ * Threads block with Engine::wait()/waitUntil() and are released by
+ * notifyOne()/notifyAll(). Wakeups carry the notifier's virtual time,
+ * so a woken thread never runs earlier than its waker.
+ */
+class WaitQueue
+{
+  public:
+    WaitQueue() = default;
+    WaitQueue(const WaitQueue &) = delete;
+    WaitQueue &operator=(const WaitQueue &) = delete;
+
+    /** @return the number of threads currently parked. */
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+  private:
+    friend class Engine;
+    std::deque<Thread *> waiters_;
+};
+
+/** Hook invoked when a core takes an interrupt; returns cycles spent. */
+using InterruptHandler = std::function<Cycles(CoreId core, Cycles now)>;
+
+/** The discrete-event engine. */
+class Engine
+{
+  public:
+    struct Config {
+        int numCores = 8;              //!< logical cores (paper: 8)
+        std::uint64_t seed = 1;        //!< master RNG seed
+        double interruptMeanCycles = 0; //!< 0 disables interrupts
+    };
+
+    Engine() : Engine(Config{}) {}
+    explicit Engine(Config config);
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** @return the engine owning the currently running fiber. */
+    static Engine *current();
+
+    /**
+     * Create a simulated thread.
+     *
+     * @param name  debug name
+     * @param core  logical core to pin to, in [0, numCores)
+     * @param body  the thread body
+     * @return a non-owning handle
+     */
+    Thread *spawn(std::string name, CoreId core,
+                  std::function<void()> body);
+
+    /**
+     * Run the simulation. Returns when every thread finished or when
+     * stop() was called. Calls fatal() on deadlock (live threads but
+     * nothing runnable and no stop request).
+     */
+    void run();
+
+    /** Request run() to return at the next scheduling point. */
+    void stop() { stopRequested_ = true; }
+
+    /** @return true once stop() has been called. */
+    bool stopRequested() const { return stopRequested_; }
+
+    // ------------------------------------------------------------------
+    // Calls valid only from inside a simulated thread.
+    // ------------------------------------------------------------------
+
+    /** @return the currently running thread. */
+    Thread *currentThread() const { return running_; }
+
+    /** @return the current thread's core clock, in cycles. */
+    Cycles now() const;
+
+    /** @return the clock of core @p core. */
+    Cycles coreNow(CoreId core) const;
+
+    /** Charge @p cycles of compute time on the current core. */
+    void advance(Cycles cycles);
+
+    /** Let same-core ready threads run; current rejoins the queue. */
+    void yield();
+
+    /** Block until the core clock reaches @p when. */
+    void sleepUntil(Cycles when);
+
+    /** Block for @p cycles of virtual time. */
+    void sleepFor(Cycles cycles) { sleepUntil(now() + cycles); }
+
+    /** Park the current thread on @p queue until notified. */
+    void wait(WaitQueue &queue);
+
+    /**
+     * Park on @p queue until notified or until @p deadline.
+     * @return true when notified, false on timeout.
+     */
+    bool waitUntil(WaitQueue &queue, Cycles deadline);
+
+    /** Release one parked thread (FIFO). No-op when empty. */
+    void notifyOne(WaitQueue &queue);
+
+    /** Release every parked thread. */
+    void notifyAll(WaitQueue &queue);
+
+    /** Terminate the current thread immediately. */
+    [[noreturn]] void exitThread();
+
+    // ------------------------------------------------------------------
+    // Interrupt (AEX source) model.
+    // ------------------------------------------------------------------
+
+    /**
+     * Install the handler invoked when a core takes a timer interrupt.
+     * Interrupt arrivals are exponential with Config::interruptMeanCycles
+     * mean inter-arrival time; a zero mean disables them.
+     */
+    void setInterruptHandler(InterruptHandler handler);
+
+    /** @return total interrupts delivered so far. */
+    std::uint64_t interruptCount() const { return interruptCount_; }
+
+    /** @return the engine master RNG (for seeding components). */
+    Rng &rng() { return rng_; }
+
+    /** @return number of configured cores. */
+    int numCores() const { return static_cast<int>(cores_.size()); }
+
+  private:
+    struct Core {
+        Cycles clock = 0;
+        Thread *running = nullptr;
+        std::deque<Thread *> ready;
+        Cycles nextInterrupt = std::numeric_limits<Cycles>::max();
+    };
+
+    /** Move @p thread to Ready on its core, runnable at @p when. */
+    void makeReady(Thread *thread, Cycles when);
+
+    /** Recompute the earliest pending event outside the running thread. */
+    void refreshNextEvent();
+
+    /** Candidate (time, thread) for the next thread a core would run. */
+    bool nextCandidate(const Core &core, Cycles &time,
+                       Thread *&thread) const;
+
+    /** Yield from the running fiber back to the scheduler. */
+    void switchOut();
+
+    /** Deliver any interrupt due on the current core. */
+    void maybeInterrupt();
+
+    Config config_;
+    Rng rng_;
+    std::vector<Core> cores_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    Thread *running_ = nullptr;
+    std::uint64_t nextThreadId_ = 0;
+    std::uint64_t liveThreads_ = 0;
+    bool stopRequested_ = false;
+    bool inRun_ = false;
+    std::uint64_t interruptCount_ = 0;
+    InterruptHandler interruptHandler_;
+
+    /** Earliest event time outside the currently running thread. */
+    Cycles nextEventTime_ = std::numeric_limits<Cycles>::max();
+};
+
+// ----------------------------------------------------------------------
+// Free-function conveniences for the running fiber's engine.
+// ----------------------------------------------------------------------
+
+/** @return current virtual time of the calling fiber's core. */
+Cycles now();
+
+/** Charge cycles on the calling fiber's core. */
+void advance(Cycles cycles);
+
+/** Yield to same-core ready threads. */
+void yield();
+
+} // namespace hc::sim
+
+#endif // HC_SIM_ENGINE_HH

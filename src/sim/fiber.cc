@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fiber implementation. makecontext only passes ints, so the fiber
+ * pointer is split into two 32-bit halves for the trampoline.
+ */
+
+#include "sim/fiber.hh"
+
+#include "support/logging.hh"
+
+namespace hc::sim {
+
+Fiber::Fiber(Body body, std::size_t stack_size)
+    : body_(std::move(body)), stack_(stack_size)
+{
+    hc_assert(body_);
+    hc_assert(stack_size >= 16 * 1024);
+
+    if (getcontext(&context_) != 0)
+        panic("getcontext failed");
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = &returnContext_;
+
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 2,
+                static_cast<unsigned int>(self >> 32),
+                static_cast<unsigned int>(self & 0xffffffffu));
+    started_ = true;
+}
+
+void
+Fiber::trampoline(unsigned int hi, unsigned int lo)
+{
+    const std::uintptr_t self =
+        (static_cast<std::uintptr_t>(hi) << 32) | lo;
+    reinterpret_cast<Fiber *>(self)->run();
+}
+
+void
+Fiber::run()
+{
+    body_();
+    finished_ = true;
+    // Returning lets ucontext jump to uc_link (= returnContext_),
+    // resuming whoever switched us in last.
+}
+
+void
+Fiber::switchTo()
+{
+    hc_assert(started_ && !finished_);
+    if (swapcontext(&returnContext_, &context_) != 0)
+        panic("swapcontext into fiber failed");
+}
+
+void
+Fiber::switchBack()
+{
+    hc_assert(!finished_);
+    if (swapcontext(&context_, &returnContext_) != 0)
+        panic("swapcontext out of fiber failed");
+}
+
+} // namespace hc::sim

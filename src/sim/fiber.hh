@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Stackful cooperative fibers built on ucontext.
+ *
+ * Every simulated thread (enclave worker, HotCalls responder, client
+ * load generator, ...) is a fiber. Fibers let application code be
+ * written as straight-line sequential C++ while the simulation engine
+ * interleaves them deterministically in virtual-time order.
+ */
+
+#ifndef HC_SIM_FIBER_HH
+#define HC_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hc::sim {
+
+/**
+ * A suspendable execution context with its own stack.
+ *
+ * The fiber starts suspended; the owner resumes it with switchTo() and
+ * the fiber gives control back via switchBack() (or by returning from
+ * its body, which marks it finished).
+ */
+class Fiber
+{
+  public:
+    using Body = std::function<void()>;
+
+    /**
+     * @param body        function executed when the fiber first runs
+     * @param stack_size  fiber stack size in bytes
+     */
+    explicit Fiber(Body body, std::size_t stack_size = 256 * 1024);
+
+    ~Fiber() = default;
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Transfer control from the calling (host or scheduler) context
+     * into the fiber. Returns when the fiber switches back or
+     * finishes. Must not be called on a finished fiber.
+     */
+    void switchTo();
+
+    /**
+     * Transfer control from inside the fiber back to whatever context
+     * last resumed it. Must be called from inside this fiber.
+     */
+    void switchBack();
+
+    /** @return true once the fiber body has returned. */
+    bool finished() const { return finished_; }
+
+  private:
+    static void trampoline(unsigned int hi, unsigned int lo);
+    void run();
+
+    Body body_;
+    std::vector<std::uint8_t> stack_;
+    ucontext_t context_;
+    ucontext_t returnContext_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace hc::sim
+
+#endif // HC_SIM_FIBER_HH

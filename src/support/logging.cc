@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Implementation of the status/error reporting helpers.
+ */
+
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hc {
+
+namespace {
+
+LogLevel g_level = LogLevel::Normal;
+
+void
+vlog(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // anonymous namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level == LogLevel::Quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level == LogLevel::Quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+trace(const char *fmt, ...)
+{
+    if (g_level != LogLevel::Verbose)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("trace", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace hc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in the simulator itself), fatal() is for conditions
+ * caused by the user (bad configuration, invalid arguments). inform()
+ * and warn() report status without stopping execution.
+ */
+
+#ifndef HC_SUPPORT_LOGGING_HH
+#define HC_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hc {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Quiet,   //!< only fatal/panic messages
+    Normal,  //!< warnings and informational messages
+    Verbose, //!< additionally debug trace messages
+};
+
+/** Set the process-wide log verbosity. */
+void setLogLevel(LogLevel level);
+
+/** @return the current process-wide log verbosity. */
+LogLevel logLevel();
+
+/** Print an informational message (printf-style). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about suspicious but non-fatal conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug trace message; suppressed unless LogLevel::Verbose. */
+void trace(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error and exit(1).
+ * Use for bad configuration or invalid arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort().
+ * Use only for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless @p cond holds. Active in all build types. */
+#define hc_assert(cond)                                                   \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::hc::panic("assertion '%s' failed at %s:%d", #cond,          \
+                        __FILE__, __LINE__);                              \
+    } while (0)
+
+} // namespace hc
+
+#endif // HC_SUPPORT_LOGGING_HH

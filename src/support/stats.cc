@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Implementation of SampleSet and RunningStats.
+ */
+
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace hc {
+
+void
+SampleSet::add(double v)
+{
+    samples_.push_back(v);
+    sorted_ = false;
+}
+
+void
+SampleSet::clear()
+{
+    samples_.clear();
+    sorted_ = true;
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (!sorted_) {
+        auto &mut = const_cast<std::vector<double> &>(samples_);
+        std::sort(mut.begin(), mut.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double total =
+        std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    return total / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    hc_assert(!samples_.empty());
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+SampleSet::max() const
+{
+    hc_assert(!samples_.empty());
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    hc_assert(!samples_.empty());
+    hc_assert(p >= 0.0 && p <= 100.0);
+    ensureSorted();
+    // Linear interpolation between closest ranks (type-7 quantile,
+    // matching numpy's default).
+    const double rank =
+        p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+SampleSet::cdfAt(double v) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), v);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>>
+SampleSet::cdfPoints(std::size_t max_points) const
+{
+    std::vector<std::pair<double, double>> points;
+    if (samples_.empty() || max_points == 0)
+        return points;
+    ensureSorted();
+    const std::size_t n = samples_.size();
+    const std::size_t step = std::max<std::size_t>(1, n / max_points);
+    for (std::size_t i = 0; i < n; i += step) {
+        points.emplace_back(samples_[i],
+                            static_cast<double>(i + 1) /
+                                static_cast<double>(n));
+    }
+    if (points.back().first != samples_.back())
+        points.emplace_back(samples_.back(), 1.0);
+    return points;
+}
+
+std::string
+SampleSet::summary() const
+{
+    if (samples_.empty())
+        return "(no samples)";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%zu min=%.0f p50=%.0f p99=%.0f p99.9=%.0f max=%.0f",
+                  count(), min(), median(), percentile(99.0),
+                  percentile(99.9), max());
+    return buf;
+}
+
+void
+RunningStats::add(double v)
+{
+    if (n_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++n_;
+    sum_ += v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace hc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Statistics collection for the measurement methodology of the paper.
+ *
+ * The paper reports medians, CDFs, and percentile bounds over batches
+ * of 200,000 measurements (Section 3.1). SampleSet keeps exact samples
+ * so any percentile can be queried; RunningStats keeps O(1) summary
+ * moments for high-volume counters.
+ */
+
+#ifndef HC_SUPPORT_STATS_HH
+#define HC_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hc {
+
+/** Exact sample container with percentile/CDF queries. */
+class SampleSet
+{
+  public:
+    SampleSet() = default;
+
+    /** Pre-allocate space for @p n samples. */
+    explicit SampleSet(std::size_t n) { samples_.reserve(n); }
+
+    /** Record one sample. */
+    void add(double v);
+
+    /** Remove all samples. */
+    void clear();
+
+    /** @return the number of recorded samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** @return true if no samples are recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** @return the arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** @return the minimum sample; panics when empty. */
+    double min() const;
+
+    /** @return the maximum sample; panics when empty. */
+    double max() const;
+
+    /** @return the median (p50). */
+    double median() const { return percentile(50.0); }
+
+    /**
+     * @return the value at percentile @p p in [0, 100], using
+     * nearest-rank interpolation. Panics when empty.
+     */
+    double percentile(double p) const;
+
+    /** @return the fraction of samples that are <= @p v, in [0, 1]. */
+    double cdfAt(double v) const;
+
+    /**
+     * Render the empirical CDF as (value, cumulative fraction) points,
+     * downsampled to at most @p max_points points.
+     */
+    std::vector<std::pair<double, double>>
+    cdfPoints(std::size_t max_points = 200) const;
+
+    /** @return a one-line human-readable summary. */
+    std::string summary() const;
+
+    /** Direct read access to the (unsorted) samples. */
+    const std::vector<double> &raw() const { return samples_; }
+
+  private:
+    /** Sort the sample buffer if new samples arrived since last sort. */
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** O(1)-memory mean/variance/extrema accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Record one sample. */
+    void add(double v);
+
+    /** @return the number of recorded samples. */
+    std::uint64_t count() const { return n_; }
+
+    /** @return the arithmetic mean; 0 when empty. */
+    double mean() const { return mean_; }
+
+    /** @return the sample variance; 0 when fewer than 2 samples. */
+    double variance() const;
+
+    /** @return the sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace hc
+
+#endif // HC_SUPPORT_STATS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Implementation of the text table printer.
+ */
+
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace hc {
+
+namespace {
+
+/// Sentinel cell marking a separator row.
+const std::string kSeparator = "\x01--";
+
+} // anonymous namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    hc_assert(!header_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    hc_assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparator});
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += " " + row[c];
+            out.append(widths[c] - row[c].size(), ' ');
+            out += " |";
+        }
+        return out + "\n";
+    };
+
+    auto renderSep = [&]() {
+        std::string out = "+";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out.append(widths[c] + 2, '-');
+            out += "+";
+        }
+        return out + "\n";
+    };
+
+    std::string out = renderSep();
+    out += renderRow(header_);
+    out += renderSep();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator)
+            out += renderSep();
+        else
+            out += renderRow(row);
+    }
+    out += renderSep();
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::cycles(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    std::string raw = buf;
+    // Insert thousands separators from the right.
+    std::string out;
+    const bool neg = !raw.empty() && raw[0] == '-';
+    const std::size_t start = neg ? 1 : 0;
+    const std::size_t len = raw.size() - start;
+    for (std::size_t i = 0; i < len; ++i) {
+        if (i > 0 && (len - i) % 3 == 0)
+            out += ',';
+        out += raw[start + i];
+    }
+    return neg ? "-" + out : out;
+}
+
+} // namespace hc

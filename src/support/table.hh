@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer for the benchmark harnesses.
+ *
+ * Every bench binary prints paper-vs-measured rows; this helper keeps
+ * the formatting consistent without pulling in a formatting library.
+ */
+
+#ifndef HC_SUPPORT_TABLE_HH
+#define HC_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hc {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Construct with the header cells. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-point double with @p digits decimals. */
+    static std::string num(double v, int digits = 0);
+
+    /** Format helper: integral value with thousands separators. */
+    static std::string cycles(double v);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hc
+
+#endif // HC_SUPPORT_TABLE_HH

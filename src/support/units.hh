@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Basic unit types used throughout the simulator.
+ *
+ * Time inside the simulation is counted in CPU clock cycles of a fixed
+ * 4 GHz core (the paper's i7-6700K with DVFS disabled). Cycles is a
+ * plain integral alias rather than a strong type: cycle arithmetic is
+ * pervasive in cost models and the extra friction of a wrapper type
+ * buys little here.
+ */
+
+#ifndef HC_SUPPORT_UNITS_HH
+#define HC_SUPPORT_UNITS_HH
+
+#include <cstdint>
+
+namespace hc {
+
+/** Simulated time, in CPU clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated virtual address. */
+using Addr = std::uint64_t;
+
+/** Logical core identifier. */
+using CoreId = int;
+
+/** Clock frequency of every simulated core, in Hz (paper: 4 GHz). */
+constexpr std::uint64_t kCoreFreqHz = 4'000'000'000ull;
+
+/** Cache line size, in bytes (paper's test machine: 64 B). */
+constexpr std::uint64_t kCacheLineSize = 64;
+
+/** EPC page size, in bytes. */
+constexpr std::uint64_t kPageSize = 4096;
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * 1024;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * 1024 * 1024;
+}
+
+/** Convert a cycle count to seconds of simulated wall-clock time. */
+constexpr double
+cyclesToSeconds(Cycles c)
+{
+    return static_cast<double>(c) / static_cast<double>(kCoreFreqHz);
+}
+
+/** Convert a cycle count to milliseconds of simulated time. */
+constexpr double
+cyclesToMillis(Cycles c)
+{
+    return cyclesToSeconds(c) * 1e3;
+}
+
+/** Convert a cycle count to microseconds of simulated time. */
+constexpr double
+cyclesToMicros(Cycles c)
+{
+    return cyclesToSeconds(c) * 1e6;
+}
+
+/** Convert seconds of simulated time to cycles. */
+constexpr Cycles
+secondsToCycles(double s)
+{
+    return static_cast<Cycles>(s * static_cast<double>(kCoreFreqHz));
+}
+
+} // namespace hc
+
+#endif // HC_SUPPORT_UNITS_HH

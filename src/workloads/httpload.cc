@@ -1,0 +1,144 @@
+/**
+ * @file
+ * http_load client implementation.
+ */
+
+#include "workloads/httpload.hh"
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "apps/httpd.hh"
+#include "support/logging.hh"
+
+namespace hc::workloads {
+
+HttpLoadClient::HttpLoadClient(os::Kernel &kernel, int server_port,
+                               HttpLoadConfig config)
+    : kernel_(kernel), serverPort_(server_port), config_(config)
+{
+}
+
+void
+HttpLoadClient::start(CoreId first_core)
+{
+    auto &engine = kernel_.machine().engine();
+    const int per_thread =
+        config_.connections / config_.clientThreads;
+    for (int t = 0; t < config_.clientThreads; ++t) {
+        int conns = per_thread;
+        if (t == config_.clientThreads - 1)
+            conns += config_.connections % config_.clientThreads;
+        const CoreId core = (first_core + t) % engine.numCores();
+        engine.spawn("http-load-" + std::to_string(t), core,
+                     [this, t, conns] { clientThread(t, conns); });
+    }
+}
+
+void
+HttpLoadClient::clientThread(int thread_index, int connections)
+{
+    auto &engine = kernel_.machine().engine();
+    Rng rng(0xf00d0000 + static_cast<std::uint64_t>(thread_index));
+
+    struct Slot {
+        int fd = -1;
+        Cycles startedAt = 0;
+        std::uint64_t bodyExpected = 0;
+        std::uint64_t received = 0;   //!< total bytes so far
+        bool headerParsed = false;
+    };
+
+    std::vector<Slot> slots(static_cast<std::size_t>(connections));
+    std::vector<std::uint8_t> buf(16 * 1024);
+    const int epfd = kernel_.epollCreate();
+    std::unordered_map<int, std::size_t> by_fd;
+
+    auto open_fetch = [&](Slot &slot, std::size_t index) {
+        engine.advance(config_.clientWork);
+        slot.fd = kernel_.connectTcp(serverPort_);
+        hc_assert(slot.fd >= 0);
+        kernel_.epollCtlAdd(epfd, slot.fd);
+        by_fd[slot.fd] = index;
+        slot.startedAt = kernel_.machine().now();
+        slot.bodyExpected = 0;
+        slot.received = 0;
+        slot.headerParsed = false;
+        const std::string req =
+            "GET " +
+            apps::HttpServer::pagePath(static_cast<int>(
+                rng.nextBelow(static_cast<std::uint64_t>(
+                    config_.numPages)))) +
+            " HTTP/1.0\r\n\r\n";
+        kernel_.send(slot.fd,
+                     reinterpret_cast<const std::uint8_t *>(
+                         req.data()),
+                     req.size());
+    };
+
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        open_fetch(slots[i], i);
+
+    std::vector<int> ready;
+    const Cycles timeout = secondsToCycles(0.001);
+    while (!stopRequested_) {
+        const int n = kernel_.epollWait(epfd, ready, 64, timeout);
+        for (int i = 0; i < n; ++i) {
+            const int fd = ready[static_cast<std::size_t>(i)];
+            const auto sit = by_fd.find(fd);
+            if (sit == by_fd.end())
+                continue;
+            Slot &slot = slots[sit->second];
+            const std::int64_t got =
+                kernel_.recv(fd, buf.data(), buf.size());
+            if (got > 0) {
+                if (!slot.headerParsed) {
+                    // Parse "Content-Length:" out of the header.
+                    const std::string head(
+                        reinterpret_cast<char *>(buf.data()),
+                        std::min<std::size_t>(
+                            static_cast<std::size_t>(got), 200));
+                    const auto pos = head.find("Content-Length: ");
+                    if (pos != std::string::npos) {
+                        slot.bodyExpected = std::strtoull(
+                            head.c_str() + pos + 16, nullptr, 10);
+                        const auto body_at = head.find("\r\n\r\n");
+                        slot.headerParsed = true;
+                        slot.received = static_cast<std::uint64_t>(
+                            got - static_cast<std::int64_t>(
+                                      body_at + 4));
+                    }
+                } else {
+                    slot.received += static_cast<std::uint64_t>(got);
+                }
+                continue;
+            }
+            if (got == os::kEagain)
+                continue;
+
+            // got == 0: server shut the connection down; the page is
+            // complete.
+            const std::size_t slot_index = sit->second;
+            if (!slot.headerParsed ||
+                slot.received != slot.bodyExpected)
+                ++bad_;
+            ++completed_;
+            if (recordLatencies_) {
+                latencies_.add(static_cast<double>(
+                    kernel_.machine().now() - slot.startedAt));
+            }
+            kernel_.epollCtlDel(epfd, fd);
+            kernel_.close(fd);
+            by_fd.erase(fd);
+            open_fetch(slot, slot_index);
+        }
+    }
+
+    for (auto &slot : slots)
+        if (slot.fd >= 0)
+            kernel_.close(slot.fd);
+    kernel_.close(epfd);
+}
+
+} // namespace hc::workloads

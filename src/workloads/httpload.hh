@@ -1,0 +1,69 @@
+/**
+ * @file
+ * http_load-style client for HttpServer (paper §6.4).
+ *
+ * 100 concurrent connections fetching 20 KiB pages over loopback,
+ * one fetch per connection at a time (closed loop), reconnecting for
+ * every page (HTTP/1.0 semantics): the paper's http_load setup.
+ */
+
+#ifndef HC_WORKLOADS_HTTPLOAD_HH
+#define HC_WORKLOADS_HTTPLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace hc::workloads {
+
+/** http_load configuration. */
+struct HttpLoadConfig {
+    int connections = 100; //!< paper: 100 parallel clients
+    int clientThreads = 4; //!< fibers sharing the connection pool
+    int numPages = 64;
+    /** Client-side per-fetch work. */
+    Cycles clientWork = 900;
+};
+
+/** The closed-loop HTTP fetch harness. */
+class HttpLoadClient
+{
+  public:
+    HttpLoadClient(os::Kernel &kernel, int server_port,
+                   HttpLoadConfig config = {});
+
+    /** Spawn the client fibers on consecutive cores. */
+    void start(CoreId first_core);
+
+    void stop() { stopRequested_ = true; }
+
+    /** @return completed page fetches (monotonic). */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Fetch latencies, in cycles. */
+    const SampleSet &latencies() const { return latencies_; }
+
+    void recordLatencies(bool on) { recordLatencies_ = on; }
+
+    /** @return fetches whose body length was wrong. */
+    std::uint64_t badFetches() const { return bad_; }
+
+  private:
+    void clientThread(int thread_index, int connections);
+
+    os::Kernel &kernel_;
+    int serverPort_;
+    HttpLoadConfig config_;
+    bool stopRequested_ = false;
+    bool recordLatencies_ = false;
+    std::uint64_t completed_ = 0;
+    std::uint64_t bad_ = 0;
+    SampleSet latencies_;
+};
+
+} // namespace hc::workloads
+
+#endif // HC_WORKLOADS_HTTPLOAD_HH

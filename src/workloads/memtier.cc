@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Memtier client implementation.
+ */
+
+#include "workloads/memtier.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "apps/kvcache.hh"
+#include "support/logging.hh"
+
+namespace hc::workloads {
+
+using apps::KvOp;
+using apps::KvProtocol;
+
+MemtierClient::MemtierClient(os::Kernel &kernel, int server_port,
+                             MemtierConfig config)
+    : kernel_(kernel), serverPort_(server_port), config_(config)
+{
+}
+
+void
+MemtierClient::start(CoreId first_core)
+{
+    auto &engine = kernel_.machine().engine();
+    for (int t = 0; t < config_.threads; ++t) {
+        const CoreId core =
+            (first_core + t) % engine.numCores();
+        engine.spawn("memtier-" + std::to_string(t), core,
+                     [this, t] { clientThread(t); });
+    }
+}
+
+void
+MemtierClient::sendNext(Connection &conn, Rng &rng,
+                        std::vector<std::uint8_t> &scratch)
+{
+    auto &engine = kernel_.machine().engine();
+    engine.advance(config_.clientWork);
+
+    const bool is_set = rng.nextDouble() < config_.setRatio;
+    const std::uint64_t key = rng.nextBelow(config_.keySpace);
+    const std::uint32_t value_len = is_set ? config_.valueSize : 0;
+    const std::uint64_t len = KvProtocol::encodeRequest(
+        scratch.data(), is_set ? KvOp::Set : KvOp::Get, key,
+        scratch.data() + 64, value_len); // payload: arbitrary bytes
+
+    conn.sentAt = kernel_.machine().now();
+    conn.expected = KvProtocol::kResponseHeader +
+                    (is_set ? 0 : config_.valueSize);
+    conn.received = 0;
+    const std::int64_t sent =
+        kernel_.send(conn.fd, scratch.data(), len);
+    if (sent < static_cast<std::int64_t>(len))
+        warn("memtier: short send (%lld of %llu)",
+             static_cast<long long>(sent),
+             static_cast<unsigned long long>(len));
+}
+
+void
+MemtierClient::clientThread(int thread_index)
+{
+    Rng rng(0xbeef0000 + static_cast<std::uint64_t>(thread_index));
+    std::vector<std::uint8_t> scratch(config_.valueSize + 64);
+    std::vector<std::uint8_t> recv_buf(config_.valueSize + 64);
+
+    // Open the connection pool and issue the first request on each.
+    std::vector<Connection> conns(
+        static_cast<std::size_t>(config_.connectionsPerThread));
+    const int epfd = kernel_.epollCreate();
+    std::unordered_map<int, std::size_t> by_fd;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+        conns[i].fd = kernel_.connectTcp(serverPort_);
+        hc_assert(conns[i].fd >= 0);
+        kernel_.epollCtlAdd(epfd, conns[i].fd);
+        by_fd[conns[i].fd] = i;
+        sendNext(conns[i], rng, scratch);
+    }
+
+    std::vector<int> ready;
+    const Cycles timeout = secondsToCycles(0.001);
+    while (!stopRequested_) {
+        const int n = kernel_.epollWait(epfd, ready, 64, timeout);
+        for (int i = 0; i < n; ++i) {
+            Connection &conn =
+                conns[by_fd[ready[static_cast<std::size_t>(i)]]];
+            const std::int64_t got = kernel_.recv(
+                conn.fd, recv_buf.data(),
+                std::min<std::uint64_t>(recv_buf.size(),
+                                        conn.expected -
+                                            conn.received));
+            if (got <= 0)
+                continue;
+            conn.received += static_cast<std::uint64_t>(got);
+            if (conn.received < conn.expected)
+                continue;
+
+            // Full response: account and fire the next request.
+            ++completed_;
+            if (recordLatencies_) {
+                latencies_.add(static_cast<double>(
+                    kernel_.machine().now() - conn.sentAt));
+            }
+            sendNext(conn, rng, scratch);
+        }
+    }
+
+    for (auto &conn : conns)
+        kernel_.close(conn.fd);
+    kernel_.close(epfd);
+}
+
+} // namespace hc::workloads

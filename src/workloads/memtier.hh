@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memtier-style load generator for KvCache (paper §6.2).
+ *
+ * The paper drives memcached with memtier_benchmark: 4 client
+ * threads, 50 connections each (200 total), binary protocol, 2 KiB
+ * values, SET:GET = 1:1, over loopback. Each connection is closed
+ * loop (one outstanding request), so measured latency follows
+ * Little's law at saturation — exactly the paper's 0.63 ms at
+ * 316,500 req/s (200 / 316,500).
+ */
+
+#ifndef HC_WORKLOADS_MEMTIER_HH
+#define HC_WORKLOADS_MEMTIER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace hc::workloads {
+
+/** Memtier configuration (paper defaults). */
+struct MemtierConfig {
+    int threads = 4;
+    int connectionsPerThread = 50;
+    std::uint32_t valueSize = 2048;
+    double setRatio = 0.5; //!< SET:GET = 1:1
+    std::uint64_t keySpace = 60'000;
+    /** Per-request client-side work (request build, bookkeeping). */
+    Cycles clientWork = 400;
+};
+
+/** The closed-loop client harness. */
+class MemtierClient
+{
+  public:
+    MemtierClient(os::Kernel &kernel, int server_port,
+                  MemtierConfig config = {});
+
+    /** Spawn one fiber per client thread on consecutive cores. */
+    void start(CoreId first_core);
+
+    /** Ask all client fibers to stop. */
+    void stop() { stopRequested_ = true; }
+
+    /** @return completed requests so far (monotonic). */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Response latencies, in cycles (recording can be toggled). */
+    const SampleSet &latencies() const { return latencies_; }
+
+    /** Enable/disable latency recording (off during warmup). */
+    void recordLatencies(bool on) { recordLatencies_ = on; }
+
+    /** @return responses whose payload failed verification. */
+    std::uint64_t corrupted() const { return corrupted_; }
+
+  private:
+    struct Connection {
+        int fd = -1;
+        std::uint64_t expected = 0; //!< response bytes outstanding
+        std::uint64_t received = 0;
+        Cycles sentAt = 0;
+    };
+
+    void clientThread(int thread_index);
+    void sendNext(Connection &conn, Rng &rng,
+                  std::vector<std::uint8_t> &scratch);
+
+    os::Kernel &kernel_;
+    int serverPort_;
+    MemtierConfig config_;
+    bool stopRequested_ = false;
+    bool recordLatencies_ = false;
+    std::uint64_t completed_ = 0;
+    std::uint64_t corrupted_ = 0;
+    SampleSet latencies_;
+};
+
+} // namespace hc::workloads
+
+#endif // HC_WORKLOADS_MEMTIER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SPEC CPU2006-like memory kernels (paper §3.4, Fig 8).
+ *
+ * The paper contrasts the MEE's overhead on three memory-intensive
+ * SPEC 2006 benchmarks: mcf (55% slower in the enclave), libquantum
+ * (5.2x slower — its 96 MiB working set exceeds the 93 MiB EPC and
+ * forces paging), and astar (mild overhead). These kernels reproduce
+ * the *access patterns* that drive those results:
+ *
+ *  - mcf: pointer chasing over a large arc network (random dependent
+ *    loads across ~40 MiB, little spatial locality),
+ *  - libquantum: repeated sequential sweeps over a 96 MiB quantum
+ *    register (streaming reads+writes, working set > EPC),
+ *  - astar: grid search with a bounded neighborhood (mixed locality
+ *    over ~16 MiB).
+ *
+ * Each kernel runs its data region in a chosen placement domain so
+ * the same code measures plaintext vs encrypted execution.
+ */
+
+#ifndef HC_WORKLOADS_SPEC_HH
+#define HC_WORKLOADS_SPEC_HH
+
+#include <cstdint>
+
+#include "mem/machine.hh"
+
+namespace hc::workloads {
+
+/** Kernel sizes and per-operation compute costs. */
+struct SpecConfig {
+    std::uint64_t mcfBytes = 40_MiB;
+    std::uint64_t mcfSteps = 300'000;
+    Cycles mcfCompute = 330; //!< simplex arithmetic per arc visit
+
+    std::uint64_t libqBytes = 96_MiB; //!< paper: 96 MiB > 93 MiB EPC
+    int libqSweeps = 3;
+    Cycles libqComputePerLine = 10; //!< gate ops per 8 amplitudes
+
+    std::uint64_t astarBytes = 6_MiB;
+    std::uint64_t astarSteps = 300'000;
+    Cycles astarCompute = 250; //!< heap + heuristic per expansion
+};
+
+/**
+ * Run the mcf-like pointer chase with its data in @p domain.
+ * @return total cycles consumed.
+ */
+Cycles runMcf(mem::Machine &machine, mem::Domain domain,
+              const SpecConfig &config = {});
+
+/** Run the libquantum-like register sweep. */
+Cycles runLibquantum(mem::Machine &machine, mem::Domain domain,
+                     const SpecConfig &config = {});
+
+/** Run the astar-like grid search. */
+Cycles runAstar(mem::Machine &machine, mem::Domain domain,
+                const SpecConfig &config = {});
+
+} // namespace hc::workloads
+
+#endif // HC_WORKLOADS_SPEC_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * VPN traffic endpoint implementations.
+ */
+
+#include "workloads/vpn_traffic.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "apps/vpn.hh"
+#include "support/logging.hh"
+
+namespace hc::workloads {
+
+using apps::VpnFrame;
+
+VpnRemotePeer::VpnRemotePeer(os::Kernel &kernel, crypto::ChaChaKey key,
+                             int my_udp_port, int dut_udp_port,
+                             VpnTrafficConfig config)
+    : kernel_(kernel), key_(key), myPort_(my_udp_port),
+      dutPort_(dut_udp_port), config_(config)
+{
+}
+
+void
+VpnRemotePeer::start(CoreId core)
+{
+    udpFd_ = kernel_.udpSocket(1, myPort_); // link side 1: the NUC
+    kernel_.machine().engine().spawn("vpn-peer", core,
+                                     [this] { peerLoop(); });
+}
+
+void
+VpnRemotePeer::sendInner(VpnPacketType type, std::uint64_t seq,
+                         std::uint64_t payload_len)
+{
+    auto &engine = kernel_.machine().engine();
+    std::vector<std::uint8_t> inner(kVpnInnerHeader + payload_len, 0);
+    inner[0] = static_cast<std::uint8_t>(type);
+    std::memcpy(inner.data() + 8, &seq, 8);
+    for (std::uint64_t i = 0; i < payload_len; ++i)
+        inner[kVpnInnerHeader + i] =
+            static_cast<std::uint8_t>(seq + i);
+
+    engine.advance(config_.peerPerPacket +
+                   static_cast<Cycles>(
+                       static_cast<double>(inner.size()) *
+                       config_.peerCryptoPerByte));
+    std::vector<std::uint8_t> frame(inner.size() +
+                                    VpnFrame::kOverhead);
+    const std::uint64_t frame_len =
+        VpnFrame::seal(key_, 0x8000'0000'0000'0000ull | txSeq_++,
+                       inner.data(), inner.size(), frame.data());
+    kernel_.sendto(udpFd_, frame.data(), frame_len, dutPort_);
+}
+
+void
+VpnRemotePeer::handleInbound(const std::uint8_t *inner,
+                             std::uint64_t len)
+{
+    if (len < kVpnInnerHeader)
+        return;
+    const auto type = static_cast<VpnPacketType>(inner[0]);
+    std::uint64_t seq = 0;
+    std::memcpy(&seq, inner + 8, 8);
+
+    if (type == VpnPacketType::Ack) {
+        acked_ = std::max(acked_, seq);
+        return;
+    }
+    if (type == VpnPacketType::EchoReply) {
+        auto it = pingSentAt_.find(seq);
+        if (it != pingSentAt_.end()) {
+            if (recordRtts_) {
+                rtts_.add(static_cast<double>(
+                    kernel_.machine().now() - it->second));
+            }
+            pingSentAt_.erase(it);
+            --pingsInFlight_;
+            ++pingsDone_;
+        }
+        return;
+    }
+}
+
+void
+VpnRemotePeer::peerLoop()
+{
+    auto &engine = kernel_.machine().engine();
+    std::vector<std::uint8_t> wire(4096 + VpnFrame::kOverhead);
+    std::vector<std::uint8_t> inner(4096);
+
+    while (!stopRequested_) {
+        // Drain everything deliverable from the tunnel.
+        bool drained_any = false;
+        for (;;) {
+            const std::int64_t n = kernel_.recvfrom(
+                udpFd_, wire.data(), wire.size());
+            if (n <= 0)
+                break;
+            drained_any = true;
+            engine.advance(
+                config_.peerPerPacket +
+                static_cast<Cycles>(static_cast<double>(n) *
+                                    config_.peerCryptoPerByte));
+            const std::int64_t pt =
+                VpnFrame::open(key_, wire.data(),
+                               static_cast<std::uint64_t>(n),
+                               inner.data());
+            if (pt < 0) {
+                ++authFailures_;
+                continue;
+            }
+            handleInbound(inner.data(),
+                          static_cast<std::uint64_t>(pt));
+        }
+
+        // Generate traffic while the window allows.
+        bool sent_any = false;
+        if (config_.mode == VpnTrafficConfig::Mode::Iperf) {
+            if (seq_ - acked_ <
+                static_cast<std::uint64_t>(config_.windowSegments)) {
+                sendInner(VpnPacketType::Data, ++seq_,
+                          config_.segmentSize);
+                sent_any = true;
+            }
+        } else {
+            if (pingsInFlight_ < config_.pingOutstanding) {
+                const std::uint64_t seq = nextPingSeq_++;
+                pingSentAt_[seq] = kernel_.machine().now();
+                ++pingsInFlight_;
+                sendInner(VpnPacketType::EchoRequest, seq,
+                          config_.pingSize);
+                sent_any = true;
+            }
+        }
+
+        if (!drained_any && !sent_any)
+            kernel_.waitReadable(udpFd_);
+    }
+}
+
+VpnLanHost::VpnLanHost(os::Kernel &kernel, int tun_app_fd,
+                       VpnTrafficConfig config)
+    : kernel_(kernel), tunFd_(tun_app_fd), config_(config)
+{
+}
+
+void
+VpnLanHost::start(CoreId core)
+{
+    kernel_.machine().engine().spawn("vpn-lan-host", core,
+                                     [this] { hostLoop(); });
+}
+
+void
+VpnLanHost::hostLoop()
+{
+    auto &engine = kernel_.machine().engine();
+    std::vector<std::uint8_t> buf(4096);
+
+    while (!stopRequested_) {
+        const std::int64_t n =
+            kernel_.read(tunFd_, buf.data(), buf.size());
+        if (n <= 0) {
+            kernel_.waitReadable(tunFd_);
+            continue;
+        }
+        if (static_cast<std::uint64_t>(n) < kVpnInnerHeader)
+            continue;
+
+        engine.advance(config_.hostPerPacket);
+        const auto type = static_cast<VpnPacketType>(buf[0]);
+        std::uint64_t seq = 0;
+        std::memcpy(&seq, buf.data() + 8, 8);
+
+        if (type == VpnPacketType::Data) {
+            payloadBytes_ +=
+                static_cast<std::uint64_t>(n) - kVpnInnerHeader;
+            ++segmentsSeen_;
+            if (++sinceAck_ >= config_.ackEvery) {
+                sinceAck_ = 0;
+                std::uint8_t ack[kVpnInnerHeader + 24] = {0};
+                ack[0] = static_cast<std::uint8_t>(
+                    VpnPacketType::Ack);
+                std::memcpy(ack + 8, &segmentsSeen_, 8);
+                kernel_.write(tunFd_, ack, sizeof(ack));
+            }
+        } else if (type == VpnPacketType::EchoRequest) {
+            buf[0] =
+                static_cast<std::uint8_t>(VpnPacketType::EchoReply);
+            kernel_.write(tunFd_, buf.data(),
+                          static_cast<std::uint64_t>(n));
+        }
+    }
+}
+
+} // namespace hc::workloads

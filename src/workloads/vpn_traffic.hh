@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Traffic endpoints for the VPN experiments (paper §6.3).
+ *
+ * The paper's testbed: the SGX machine runs the openVPN endpoint
+ * under test; an Intel NUC desktop on a 1 Gbit link runs the peer.
+ * iperf3 measures TCP bandwidth through the tunnel, and a flood ping
+ * (1M requests, preload 100) measures round-trip latency.
+ *
+ * VpnRemotePeer models the desktop: the native peer tunnel endpoint
+ * fused with the traffic source (window-limited bulk stream for
+ * iperf, a constant pool of outstanding echo requests for the flood
+ * ping). VpnLanHost models the protected host behind the tunnel on
+ * the SGX machine: the iperf sink that acknowledges every second
+ * segment, and the ICMP echo responder.
+ *
+ * Inner packet format: [1B type][7B pad][8B seq][payload].
+ */
+
+#ifndef HC_WORKLOADS_VPN_TRAFFIC_HH
+#define HC_WORKLOADS_VPN_TRAFFIC_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/chacha20.hh"
+#include "os/kernel.hh"
+#include "support/stats.hh"
+
+namespace hc::workloads {
+
+/** Inner packet types. */
+enum class VpnPacketType : std::uint8_t {
+    Data = 1,
+    Ack = 2,
+    EchoRequest = 3,
+    EchoReply = 4,
+};
+
+/** Inner packet header size. */
+constexpr std::uint64_t kVpnInnerHeader = 16;
+
+/** Traffic configuration. */
+struct VpnTrafficConfig {
+    enum class Mode { Iperf, Ping };
+    Mode mode = Mode::Iperf;
+
+    // iperf (TCP-like windowed stream).
+    std::uint64_t segmentSize = 1460;
+    int windowSegments = 64; //!< ~93 KiB in flight
+    int ackEvery = 2;
+
+    // flood ping.
+    int pingOutstanding = 100; //!< paper: preload 100
+    std::uint64_t pingSize = 64;
+
+    /** Desktop-side per-packet stack + tunnel glue. */
+    Cycles peerPerPacket = 2'500;
+    double peerCryptoPerByte = 1.3;
+    /** LAN-host per-packet stack cost. */
+    Cycles hostPerPacket = 1'200;
+};
+
+/** The desktop peer: remote tunnel endpoint + traffic source. */
+class VpnRemotePeer
+{
+  public:
+    /**
+     * @param kernel        the simulated OS
+     * @param key           tunnel key (shared with the DUT endpoint)
+     * @param my_udp_port   this peer's UDP port (link side 1)
+     * @param dut_udp_port  the device-under-test's UDP port
+     */
+    VpnRemotePeer(os::Kernel &kernel, crypto::ChaChaKey key,
+                  int my_udp_port, int dut_udp_port,
+                  VpnTrafficConfig config);
+
+    void start(CoreId core);
+    void stop() { stopRequested_ = true; }
+
+    /** Ping RTTs, in cycles. */
+    const SampleSet &pingRtts() const { return rtts_; }
+
+    void recordRtts(bool on) { recordRtts_ = on; }
+
+    std::uint64_t segmentsSent() const { return seq_; }
+    std::uint64_t pingsCompleted() const { return pingsDone_; }
+    std::uint64_t authFailures() const { return authFailures_; }
+
+  private:
+    void peerLoop();
+    void handleInbound(const std::uint8_t *inner, std::uint64_t len);
+    void sendInner(VpnPacketType type, std::uint64_t seq,
+                   std::uint64_t payload_len);
+
+    os::Kernel &kernel_;
+    crypto::ChaChaKey key_;
+    int myPort_;
+    int dutPort_;
+    VpnTrafficConfig config_;
+    int udpFd_ = -1;
+    bool stopRequested_ = false;
+    bool recordRtts_ = false;
+
+    std::uint64_t seq_ = 0;       //!< data segments sent
+    std::uint64_t acked_ = 0;     //!< cumulative segments acked
+    std::uint64_t txSeq_ = 1;     //!< tunnel frame nonce
+    std::uint64_t pingsDone_ = 0;
+    std::uint64_t authFailures_ = 0;
+    int pingsInFlight_ = 0;
+    std::uint64_t nextPingSeq_ = 1;
+    std::unordered_map<std::uint64_t, Cycles> pingSentAt_;
+    SampleSet rtts_;
+};
+
+/** The protected host behind the tunnel: iperf sink + echo server. */
+class VpnLanHost
+{
+  public:
+    VpnLanHost(os::Kernel &kernel, int tun_app_fd,
+               VpnTrafficConfig config);
+
+    void start(CoreId core);
+    void stop() { stopRequested_ = true; }
+
+    /** iperf goodput accounting (monotonic payload bytes). */
+    std::uint64_t payloadBytes() const { return payloadBytes_; }
+
+  private:
+    void hostLoop();
+
+    os::Kernel &kernel_;
+    int tunFd_;
+    VpnTrafficConfig config_;
+    bool stopRequested_ = false;
+    std::uint64_t payloadBytes_ = 0;
+    std::uint64_t segmentsSeen_ = 0;
+    int sinceAck_ = 0;
+};
+
+} // namespace hc::workloads
+
+#endif // HC_WORKLOADS_VPN_TRAFFIC_HH

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Calibration regression tests: small-sample versions of the paper
+ * benchmarks asserting that the model stays anchored to Table 1 and
+ * the headline HotCalls numbers. These protect the calibration from
+ * drifting when cost parameters or mechanisms change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hotcalls/hotcall.hh"
+#include "measure/measure.hh"
+#include "mem/buffer.hh"
+#include "sdk/runtime.hh"
+
+using namespace hc;
+
+namespace {
+
+const char *kEdl = R"(
+    enclave {
+        trusted {
+            public void ecall_empty();
+            public void ecall_in([in, size=len] uint8_t* b,
+                                 size_t len);
+            public void ecall_out([out, size=len] uint8_t* b,
+                                  size_t len);
+            public void ecall_inout([in, out, size=len] uint8_t* b,
+                                    size_t len);
+        };
+        untrusted {
+            void ocall_empty();
+            void ocall_to([in, size=len] uint8_t* b, size_t len);
+            void ocall_from([out, size=len] uint8_t* b, size_t len);
+            void ocall_tofrom([in, out, size=len] uint8_t* b,
+                              size_t len);
+        };
+    };
+)";
+
+struct Fixture {
+    mem::Machine machine;
+    sgx::SgxPlatform platform;
+    sdk::EnclaveRuntime runtime;
+    measure::MeasureConfig config;
+
+    Fixture()
+        : machine([] {
+              mem::MachineConfig c;
+              c.engine.numCores = 8;
+              c.engine.seed = 42;
+              return c;
+          }()),
+          platform(machine), runtime(platform, "cal", kEdl)
+    {
+        for (const char *name : {"ecall_empty", "ecall_in",
+                                 "ecall_out", "ecall_inout"})
+            runtime.registerEcall(name, [](edl::StagedCall &) {});
+        for (const char *name : {"ocall_empty", "ocall_to",
+                                 "ocall_from", "ocall_tofrom"})
+            runtime.registerOcall(name, [](edl::StagedCall &) {});
+        config.batches = 2;
+        config.runsPerBatch = 1'000;
+    }
+
+    void run(std::function<void()> body)
+    {
+        machine.engine().spawn("driver", 0, std::move(body));
+        machine.engine().run();
+    }
+
+    double median(const std::function<void()> &op,
+                  const std::function<void()> &setup = {})
+    {
+        return measure::measureOracleOp(platform, op, config, setup)
+            .samples.median();
+    }
+};
+
+/** Tolerance: within @p pct percent of the paper's value. */
+::testing::AssertionResult
+near(double measured, double paper, double pct)
+{
+    const double dev = std::abs(measured - paper) / paper * 100.0;
+    if (dev <= pct)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "measured " << measured << " vs paper " << paper
+           << " (" << dev << "% off, tolerance " << pct << "%)";
+}
+
+} // anonymous namespace
+
+TEST(Calibration, Table1CallRows)
+{
+    Fixture f;
+    f.run([&] {
+        // Row 1: warm ecall 8,640.
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ecall("ecall_empty", {}); }),
+            8'640, 2));
+        // Row 2: cold ecall 14,170.
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ecall("ecall_empty", {}); },
+                     [&] { f.machine.memory().evictAll(); }),
+            14'170, 6));
+        // Row 3: ecall + 2 KiB in/out/in&out = 9,861/11,172/10,827.
+        mem::Buffer buf(f.machine, mem::Domain::Untrusted, 2048);
+        const edl::Args args = {edl::Arg::buffer(buf),
+                                edl::Arg::value(2048)};
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ecall("ecall_in", args); }),
+            9'861, 2));
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ecall("ecall_out", args); }),
+            11'172, 2));
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ecall("ecall_inout", args); }),
+            10'827, 2));
+    });
+}
+
+TEST(Calibration, Table1OcallRows)
+{
+    Fixture f;
+    f.runtime.registerEcall("ecall_empty", [&](edl::StagedCall &) {
+        // Rows 4-6 measured from inside the enclave.
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ocall("ocall_empty", {}); }),
+            8'314, 2));
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ocall("ocall_empty", {}); },
+                     [&] { f.machine.memory().evictAll(); }),
+            14'160, 6));
+        mem::Buffer buf(f.machine, mem::Domain::Epc, 2048);
+        const edl::Args args = {edl::Arg::buffer(buf),
+                                edl::Arg::value(2048)};
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ocall("ocall_to", args); }),
+            9'252, 2));
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ocall("ocall_from", args); }),
+            11'418, 2));
+        EXPECT_TRUE(near(
+            f.median([&] { f.runtime.ocall("ocall_tofrom", args); }),
+            9'801, 2));
+    });
+    f.run([&] { f.runtime.ecall("ecall_empty", {}); });
+}
+
+TEST(Calibration, Table1MemoryRows)
+{
+    Fixture f;
+    f.run([&] {
+        mem::Buffer enc(f.machine, mem::Domain::Epc, 2048);
+        mem::Buffer plain(f.machine, mem::Domain::Untrusted, 2048);
+        EXPECT_TRUE(near(f.median([&] { enc.read(); },
+                                  [&] { enc.evict(); }),
+                         1'124, 4));
+        EXPECT_TRUE(near(f.median([&] { plain.read(); },
+                                  [&] { plain.evict(); }),
+                         727, 2));
+        EXPECT_TRUE(near(f.median([&] { enc.write(true); },
+                                  [&] { enc.evict(); }),
+                         6'875, 2));
+        EXPECT_TRUE(near(f.median([&] { plain.write(true); },
+                                  [&] { plain.evict(); }),
+                         6'458, 2));
+
+        auto &memory = f.machine.memory();
+        EXPECT_TRUE(near(
+            f.median([&] { memory.accessWord(enc.addr(), false); },
+                     [&] { memory.evictRange(enc.addr(), 64); }),
+            400, 2));
+        EXPECT_TRUE(near(
+            f.median([&] { memory.accessWord(plain.addr(), false); },
+                     [&] { memory.evictRange(plain.addr(), 64); }),
+            308, 2));
+        EXPECT_TRUE(near(
+            f.median([&] { memory.accessWord(enc.addr(), true); },
+                     [&] { memory.evictRange(enc.addr(), 64); }),
+            575, 2));
+        EXPECT_TRUE(near(
+            f.median([&] { memory.accessWord(plain.addr(), true); },
+                     [&] { memory.evictRange(plain.addr(), 64); }),
+            481, 2));
+    });
+}
+
+TEST(Calibration, Fig3HotCallHeadline)
+{
+    Fixture f;
+    hotcalls::HotCallService hot(f.runtime,
+                                 hotcalls::Kind::HotEcall, 1);
+    f.run([&] {
+        hot.start();
+        const int id = f.runtime.ecallId("ecall_empty");
+        const auto result = measure::measureOracleOp(
+            f.platform, [&] { hot.call(id, {}); }, f.config);
+        // Paper: >78% under 620 cycles, >99.97% under 1,400.
+        EXPECT_GT(result.samples.cdfAt(620), 0.78);
+        EXPECT_GT(result.samples.cdfAt(1'400), 0.9990);
+        // 13-27x median speedup over the SDK path.
+        const double speedup =
+            8'640.0 / result.samples.median();
+        EXPECT_GT(speedup, 13.0);
+        EXPECT_LT(speedup, 27.0);
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(Calibration, Fig6OverheadGrowsMonotonically)
+{
+    Fixture f;
+    f.run([&] {
+        double last = 0;
+        for (std::uint64_t kib : {2, 8, 32}) {
+            const std::uint64_t bytes = kib * 1024;
+            mem::Buffer enc(f.machine, mem::Domain::Epc, bytes);
+            mem::Buffer plain(f.machine, mem::Domain::Untrusted,
+                              bytes);
+            const double e = f.median([&] { enc.read(); },
+                                      [&] { enc.evict(); });
+            const double p = f.median([&] { plain.read(); },
+                                      [&] { plain.evict(); });
+            const double overhead = (e - p) / p * 100;
+            EXPECT_GT(overhead, last);
+            last = overhead;
+        }
+        // Ends in the paper's ballpark (102% at 32 KiB).
+        EXPECT_GT(last, 80.0);
+        EXPECT_LT(last, 135.0);
+    });
+}
+
+TEST(Calibration, SpeculativeMeeReducesReadOverheadOnly)
+{
+    mem::MachineConfig config;
+    config.engine.seed = 42;
+    config.mem.meeSpeculativeLoading = true;
+    mem::Machine machine(config);
+    sgx::SgxPlatform platform(machine);
+    machine.engine().spawn("driver", 0, [&] {
+        mem::Buffer enc(machine, mem::Domain::Epc, 2048);
+        auto &memory = machine.memory();
+        // Warm tree nodes, then measure a steady-state load miss.
+        for (int i = 0; i < 3; ++i) {
+            memory.evictRange(enc.addr(), 64);
+            memory.accessWord(enc.addr(), false);
+        }
+        memory.evictRange(enc.addr(), 64);
+        const Cycles load = memory.accessWord(enc.addr(), false);
+        EXPECT_LT(load, 400u); // below the non-speculative 400
+        EXPECT_GE(load, 308u); // never below plain DRAM
+
+        // Stores unchanged: speculation is a read-path mechanism.
+        memory.evictRange(enc.addr(), 64);
+        EXPECT_EQ(memory.accessWord(enc.addr(), true), 575u);
+    });
+    machine.engine().run();
+}

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Crypto tests against published vectors: SHA-256 (FIPS 180-4),
+ * HMAC-SHA256 (RFC 4231), ChaCha20 / Poly1305 / AEAD (RFC 8439),
+ * plus roundtrip and tamper properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/chacha20.hh"
+#include "crypto/sha256.hh"
+#include "support/rng.hh"
+
+using namespace hc;
+using namespace hc::crypto;
+
+namespace {
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+        out.push_back(static_cast<std::uint8_t>(
+            std::stoul(hex.substr(i, 2), nullptr, 16)));
+    }
+    return out;
+}
+
+std::string
+toHex(const std::uint8_t *data, std::size_t len)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    for (std::size_t i = 0; i < len; ++i) {
+        out += digits[data[i] >> 4];
+        out += digits[data[i] & 0xf];
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+// ----------------------------------------------------------------------
+// SHA-256 (FIPS 180-4 / NIST CAVS vectors).
+// ----------------------------------------------------------------------
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(Sha256::hex(Sha256::digest("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(Sha256::hex(Sha256::digest("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(Sha256::hex(Sha256::digest(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopno"
+                  "pq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(Sha256::hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    Rng rng(9);
+    std::vector<std::uint8_t> data(4097);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    // Split at awkward boundaries around the 64-byte block size.
+    for (std::size_t split : {1ul, 63ul, 64ul, 65ul, 1000ul}) {
+        Sha256 h;
+        h.update(data.data(), split);
+        h.update(data.data() + split, data.size() - split);
+        EXPECT_EQ(h.finish(),
+                  Sha256::digest(data.data(), data.size()));
+    }
+}
+
+// ----------------------------------------------------------------------
+// HMAC-SHA256 (RFC 4231).
+// ----------------------------------------------------------------------
+
+TEST(HmacSha256, Rfc4231Case1)
+{
+    const auto key = fromHex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+    const std::string msg = "Hi There";
+    const auto mac = hmacSha256(key.data(), key.size(), msg.data(),
+                                msg.size());
+    EXPECT_EQ(Sha256::hex(mac),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c"
+              "2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    const std::string key = "Jefe";
+    const std::string msg = "what do ya want for nothing?";
+    const auto mac = hmacSha256(key.data(), key.size(), msg.data(),
+                                msg.size());
+    EXPECT_EQ(Sha256::hex(mac),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+              "64ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey)
+{
+    const std::vector<std::uint8_t> key(131, 0xaa);
+    const std::string msg =
+        "Test Using Larger Than Block-Size Key - Hash Key First";
+    const auto mac = hmacSha256(key.data(), key.size(), msg.data(),
+                                msg.size());
+    EXPECT_EQ(Sha256::hex(mac),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f"
+              "0ee37f54");
+}
+
+// ----------------------------------------------------------------------
+// ChaCha20 (RFC 8439 section 2.4.2).
+// ----------------------------------------------------------------------
+
+TEST(ChaCha20, Rfc8439KeystreamVector)
+{
+    ChaChaKey key;
+    for (int i = 0; i < 32; ++i)
+        key[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i);
+    ChaChaNonce nonce{};
+    nonce[3] = 0x00;
+    nonce[7] = 0x4a;
+    const std::string plaintext =
+        "Ladies and Gentlemen of the class of '99: If I could offer "
+        "you only one tip for the future, sunscreen would be it.";
+    std::vector<std::uint8_t> data(plaintext.begin(), plaintext.end());
+    chacha20Xor(key, nonce, 1, data.data(), data.size());
+    EXPECT_EQ(toHex(data.data(), 16),
+              "6e2e359a2568f98041ba0728dd0d6981");
+    EXPECT_EQ(toHex(data.data() + 96, 16),
+              "5af90bbf74a35be6b40b8eedf2785e42");
+    // Decrypt restores the plaintext.
+    chacha20Xor(key, nonce, 1, data.data(), data.size());
+    EXPECT_EQ(std::string(data.begin(), data.end()), plaintext);
+}
+
+// ----------------------------------------------------------------------
+// Poly1305 (RFC 8439 section 2.5.2).
+// ----------------------------------------------------------------------
+
+TEST(Poly1305, Rfc8439Vector)
+{
+    const auto key_bytes =
+        fromHex("85d6be7857556d337f4452fe42d506a8"
+                "0103808afb0db2fd4abff6af4149f51b");
+    const std::string msg = "Cryptographic Forum Research Group";
+    const auto tag = poly1305(
+        key_bytes.data(),
+        reinterpret_cast<const std::uint8_t *>(msg.data()),
+        msg.size());
+    EXPECT_EQ(toHex(tag.data(), tag.size()),
+              "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+// ----------------------------------------------------------------------
+// ChaCha20-Poly1305 AEAD (RFC 8439 section 2.8.2).
+// ----------------------------------------------------------------------
+
+TEST(Aead, Rfc8439SealVector)
+{
+    ChaChaKey key;
+    for (int i = 0; i < 32; ++i)
+        key[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(0x80 + i);
+    ChaChaNonce nonce = {0x07, 0x00, 0x00, 0x00, 0x40, 0x41,
+                         0x42, 0x43, 0x44, 0x45, 0x46, 0x47};
+    const auto aad = fromHex("50515253c0c1c2c3c4c5c6c7");
+    const std::string plaintext =
+        "Ladies and Gentlemen of the class of '99: If I could offer "
+        "you only one tip for the future, sunscreen would be it.";
+
+    std::vector<std::uint8_t> ciphertext(plaintext.size());
+    PolyTag tag;
+    aeadSeal(key, nonce, aad.data(), aad.size(),
+             reinterpret_cast<const std::uint8_t *>(plaintext.data()),
+             plaintext.size(), ciphertext.data(), &tag);
+
+    EXPECT_EQ(toHex(ciphertext.data(), 16),
+              "d31a8d34648e60db7b86afbc53ef7ec2");
+    EXPECT_EQ(toHex(tag.data(), tag.size()),
+              "1ae10b594f09e26a7e902ecbd0600691");
+
+    std::vector<std::uint8_t> recovered(plaintext.size());
+    ASSERT_TRUE(aeadOpen(key, nonce, aad.data(), aad.size(),
+                         ciphertext.data(), ciphertext.size(), tag,
+                         recovered.data()));
+    EXPECT_EQ(std::string(recovered.begin(), recovered.end()),
+              plaintext);
+}
+
+TEST(Aead, RejectsTamperedCiphertext)
+{
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    std::vector<std::uint8_t> pt(100, 0x5a);
+    std::vector<std::uint8_t> ct(pt.size());
+    PolyTag tag;
+    aeadSeal(key, nonce, nullptr, 0, pt.data(), pt.size(), ct.data(),
+             &tag);
+
+    std::vector<std::uint8_t> out(pt.size());
+    ct[50] ^= 1;
+    EXPECT_FALSE(aeadOpen(key, nonce, nullptr, 0, ct.data(), ct.size(),
+                          tag, out.data()));
+    ct[50] ^= 1;
+    tag[0] ^= 1;
+    EXPECT_FALSE(aeadOpen(key, nonce, nullptr, 0, ct.data(), ct.size(),
+                          tag, out.data()));
+    tag[0] ^= 1;
+    EXPECT_TRUE(aeadOpen(key, nonce, nullptr, 0, ct.data(), ct.size(),
+                         tag, out.data()));
+    EXPECT_EQ(out, pt);
+}
+
+TEST(Aead, RejectsWrongAad)
+{
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    const std::string pt = "payload";
+    std::vector<std::uint8_t> ct(pt.size());
+    PolyTag tag;
+    const std::uint8_t aad1[4] = {1, 2, 3, 4};
+    const std::uint8_t aad2[4] = {1, 2, 3, 5};
+    aeadSeal(key, nonce, aad1, 4,
+             reinterpret_cast<const std::uint8_t *>(pt.data()),
+             pt.size(), ct.data(), &tag);
+    std::vector<std::uint8_t> out(pt.size());
+    EXPECT_FALSE(aeadOpen(key, nonce, aad2, 4, ct.data(), ct.size(),
+                          tag, out.data()));
+}
+
+/** Property: seal/open roundtrips for every length 0..N. */
+class AeadRoundtrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AeadRoundtrip, SealOpenIdentity)
+{
+    const auto len = static_cast<std::size_t>(GetParam());
+    Rng rng(static_cast<std::uint64_t>(len) + 1);
+    ChaChaKey key;
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.next());
+    ChaChaNonce nonce;
+    for (auto &b : nonce)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    std::vector<std::uint8_t> pt(len);
+    for (auto &b : pt)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    std::vector<std::uint8_t> ct(len);
+    std::vector<std::uint8_t> out(len);
+    PolyTag tag;
+    aeadSeal(key, nonce, nullptr, 0, pt.data(), pt.size(), ct.data(),
+             &tag);
+    ASSERT_TRUE(aeadOpen(key, nonce, nullptr, 0, ct.data(), ct.size(),
+                         tag, out.data()));
+    EXPECT_EQ(out, pt);
+    if (len > 0)
+        EXPECT_NE(ct, pt); // actually encrypted
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AeadRoundtrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64,
+                                           65, 255, 1000, 1460,
+                                           4096));

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * HotCalls tests: functional round trips in both directions, data
+ * integrity through the shared marshalling, latency versus the SDK
+ * path, the timeout fallback, responder sleep, and sharing one
+ * responder among several requesters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+
+#include "hotcalls/hotcall.hh"
+#include "mem/buffer.hh"
+#include "support/stats.hh"
+
+using namespace hc;
+using namespace hc::hotcalls;
+
+namespace {
+
+const char *kEdl = R"(
+    enclave {
+        trusted {
+            public uint64_t ecall_add(uint64_t a, uint64_t b);
+            public void ecall_empty();
+        };
+        untrusted {
+            uint64_t ocall_double(uint64_t v);
+            void ocall_empty();
+            void ocall_fill([out, size=len] uint8_t* buf, size_t len);
+            void ocall_consume([in, size=len] uint8_t* buf,
+                               size_t len);
+        };
+    };
+)";
+
+struct Fixture {
+    mem::Machine machine;
+    sgx::SgxPlatform platform;
+    sdk::EnclaveRuntime runtime;
+    std::vector<std::uint8_t> consumed;
+
+    Fixture()
+        : machine([] {
+              mem::MachineConfig config;
+              config.engine.numCores = 8;
+              return config;
+          }()),
+          platform(machine),
+          runtime(platform, "hot-test", kEdl, 4)
+    {
+        runtime.registerEcall("ecall_add", [](edl::StagedCall &c) {
+            c.setRetval(c.scalar(0) + c.scalar(1));
+        });
+        runtime.registerEcall("ecall_empty",
+                              [](edl::StagedCall &) {});
+        runtime.registerOcall("ocall_double", [](edl::StagedCall &c) {
+            c.setRetval(c.scalar(0) * 2);
+        });
+        runtime.registerOcall("ocall_empty",
+                              [](edl::StagedCall &) {});
+        runtime.registerOcall("ocall_fill", [](edl::StagedCall &c) {
+            for (std::uint64_t i = 0; i < c.size(0); ++i)
+                c.data(0)[i] =
+                    static_cast<std::uint8_t>(0xc0 + (i & 0xf));
+        });
+        runtime.registerOcall(
+            "ocall_consume", [this](edl::StagedCall &c) {
+                consumed.assign(c.data(0), c.data(0) + c.size(0));
+            });
+    }
+
+    /** Run @p body as the "application" fiber on core 0. */
+    void run(std::function<void()> body)
+    {
+        machine.engine().spawn("app", 0, std::move(body));
+        machine.engine().run();
+    }
+
+    /** Enter the enclave around @p body (for HotOcall requesters). */
+    void inEnclave(std::function<void()> body)
+    {
+        sgx::Tcs *tcs = runtime.enclave().acquireTcs();
+        platform.eenter(runtime.enclave(), *tcs);
+        body();
+        platform.eexit();
+        runtime.enclave().releaseTcs(tcs);
+    }
+};
+
+} // anonymous namespace
+
+TEST(HotEcall, RoundtripReturnsValue)
+{
+    Fixture f;
+    HotCallService hot(f.runtime, Kind::HotEcall, 1);
+    f.run([&] {
+        hot.start();
+        EXPECT_EQ(hot.call("ecall_add",
+                           {edl::Arg::value(40), edl::Arg::value(2)}),
+                  42u);
+        EXPECT_EQ(hot.stats().calls, 1u);
+        EXPECT_EQ(hot.stats().fallbacks, 0u);
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(HotOcall, RoundtripFromEnclave)
+{
+    Fixture f;
+    HotCallService hot(f.runtime, Kind::HotOcall, 2);
+    f.run([&] {
+        hot.start();
+        f.inEnclave([&] {
+            EXPECT_EQ(hot.call("ocall_double", {edl::Arg::value(21)}),
+                      42u);
+        });
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(HotOcall, RequiresEnclaveMode)
+{
+    Fixture f;
+    HotCallService hot(f.runtime, Kind::HotOcall, 2);
+    f.run([&] {
+        hot.start();
+        EXPECT_THROW(hot.call("ocall_empty", {}), sgx::SgxFault);
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(HotOcall, BuffersMarshalledBothWays)
+{
+    Fixture f;
+    HotCallService hot(f.runtime, Kind::HotOcall, 2);
+    f.run([&] {
+        hot.start();
+        f.inEnclave([&] {
+            mem::Buffer out(f.machine, mem::Domain::Epc, 32);
+            hot.call("ocall_fill",
+                     {edl::Arg::buffer(out), edl::Arg::value(32)});
+            for (int i = 0; i < 32; ++i)
+                EXPECT_EQ(out.data()[i], 0xc0 + (i & 0xf));
+
+            mem::Buffer in(f.machine, mem::Domain::Epc, 16);
+            std::memcpy(in.data(), "hotcall-payload", 15);
+            hot.call("ocall_consume",
+                     {edl::Arg::buffer(in), edl::Arg::value(15)});
+        });
+        hot.stop();
+        f.machine.engine().stop();
+    });
+    ASSERT_EQ(f.consumed.size(), 15u);
+    EXPECT_EQ(std::memcmp(f.consumed.data(), "hotcall-payload", 15),
+              0);
+}
+
+TEST(HotCalls, MuchFasterThanSdkPath)
+{
+    Fixture f;
+    HotCallService hot(f.runtime, Kind::HotEcall, 1);
+    f.run([&] {
+        hot.start();
+        // Warm up both paths.
+        for (int i = 0; i < 50; ++i) {
+            hot.call("ecall_empty", {});
+            f.runtime.ecall("ecall_empty", {});
+        }
+        SampleSet hot_lat, sdk_lat;
+        for (int i = 0; i < 1'000; ++i) {
+            Cycles t0 = f.machine.now();
+            hot.call("ecall_empty", {});
+            hot_lat.add(static_cast<double>(f.machine.now() - t0));
+            t0 = f.machine.now();
+            f.runtime.ecall("ecall_empty", {});
+            sdk_lat.add(static_cast<double>(f.machine.now() - t0));
+        }
+        // Paper: 620 vs 8,640 median -> 13-27x. Allow a wide band.
+        const double speedup = sdk_lat.median() / hot_lat.median();
+        EXPECT_GT(speedup, 10.0);
+        EXPECT_LT(speedup, 30.0);
+        EXPECT_LT(hot_lat.median(), 700.0);
+        EXPECT_GT(hot_lat.median(), 300.0);
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(HotCalls, FallbackWhenResponderSaturated)
+{
+    // Paper Section 4.2, "Preventing starvation": if the requester
+    // cannot hand its request to the responder within `timeoutTries`
+    // attempts, it falls back to the conventional SDK call. Saturate
+    // the responder with a long-running call and watch a second
+    // requester take the fallback path.
+    Fixture f;
+    f.runtime.registerEcall("ecall_empty", [&](edl::StagedCall &) {
+        f.machine.engine().advance(3'000'000); // hog the responder
+    });
+    HotCallConfig config;
+    config.timeoutTries = 3;
+    HotCallService hot(f.runtime, Kind::HotEcall, 1, config);
+    auto &engine = f.machine.engine();
+
+    hot.start();
+    engine.spawn("hog", 2, [&] {
+        hot.call("ecall_empty", {}); // occupies the responder long
+    });
+    engine.spawn("victim", 3, [&] {
+        engine.sleepFor(200'000); // responder is mid-call now
+        const std::uint64_t r = hot.call(
+            "ecall_add", {edl::Arg::value(1), edl::Arg::value(2)});
+        EXPECT_EQ(r, 3u); // still served, via the SDK fallback
+        EXPECT_GE(hot.stats().fallbacks, 1u);
+        hot.stop();
+        engine.stop();
+    });
+    engine.run();
+}
+
+TEST(HotCalls, SharedResponderServesManyRequesters)
+{
+    Fixture f;
+    HotCallService hot(f.runtime, Kind::HotEcall, 1);
+    auto &engine = f.machine.engine();
+    std::uint64_t sum = 0;
+    int done = 0;
+    constexpr int kRequesters = 4;
+    constexpr int kCallsEach = 200;
+
+    hot.start();
+    for (int r = 0; r < kRequesters; ++r) {
+        engine.spawn("req" + std::to_string(r), 2 + r, [&, r] {
+            for (int i = 0; i < kCallsEach; ++i) {
+                sum += hot.call(
+                    "ecall_add",
+                    {edl::Arg::value(static_cast<std::uint64_t>(r)),
+                     edl::Arg::value(static_cast<std::uint64_t>(i))});
+            }
+            if (++done == kRequesters) {
+                hot.stop();
+                engine.stop();
+            }
+        });
+    }
+    engine.run();
+
+    std::uint64_t expected = 0;
+    for (int r = 0; r < kRequesters; ++r)
+        for (int i = 0; i < kCallsEach; ++i)
+            expected += static_cast<std::uint64_t>(r + i);
+    EXPECT_EQ(sum, expected);
+    EXPECT_EQ(hot.stats().calls + hot.stats().fallbacks,
+              static_cast<std::uint64_t>(kRequesters * kCallsEach));
+}
+
+TEST(HotCalls, ResponderSleepsWhenIdleAndWakes)
+{
+    Fixture f;
+    HotCallConfig config;
+    config.responderSleep = true;
+    config.idlePollsBeforeSleep = 100;
+    HotCallService hot(f.runtime, Kind::HotEcall, 1, config);
+    f.run([&] {
+        hot.start();
+        // Let the responder go idle long enough to park.
+        f.machine.engine().sleepFor(3'000'000);
+        EXPECT_GE(hot.stats().responderSleeps, 1u);
+
+        // A call while parked must wake it and still succeed.
+        EXPECT_EQ(hot.call("ecall_add",
+                           {edl::Arg::value(5), edl::Arg::value(6)}),
+                  11u);
+        EXPECT_GE(hot.stats().wakeups, 1u);
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(HotCalls, IdleResponderBurnsFewCyclesPerPoll)
+{
+    Fixture f;
+    HotCallService hot(f.runtime, Kind::HotEcall, 1);
+    f.run([&] {
+        hot.start();
+        f.machine.engine().sleepFor(1'000'000);
+        const auto &stats = hot.stats();
+        // Idle polling should be dominated by PAUSE + an owned-line
+        // probe: well under 150 cycles per poll.
+        const double per_poll =
+            1'000'000.0 / static_cast<double>(stats.responderPolls);
+        EXPECT_LT(per_poll, 150.0);
+        EXPECT_GT(per_poll, 30.0);
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(HotCalls, BusyCyclesAccounted)
+{
+    Fixture f;
+    HotCallService hot(f.runtime, Kind::HotOcall, 2);
+    f.run([&] {
+        hot.start();
+        f.inEnclave([&] {
+            for (int i = 0; i < 10; ++i)
+                hot.call("ocall_double", {edl::Arg::value(7)});
+        });
+        EXPECT_GT(hot.stats().responderBusyCycles, 0u);
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(HotCalls, DeterministicAcrossRuns)
+{
+    auto run_once = [](std::uint64_t seed) {
+        Fixture f; // fixed engine seed inside
+        (void)seed;
+        HotCallService hot(f.runtime, Kind::HotEcall, 1);
+        std::vector<Cycles> latencies;
+        f.run([&] {
+            hot.start();
+            for (int i = 0; i < 200; ++i) {
+                const Cycles t0 = f.machine.now();
+                hot.call("ecall_add",
+                         {edl::Arg::value(1), edl::Arg::value(2)});
+                latencies.push_back(f.machine.now() - t0);
+            }
+            hot.stop();
+            f.machine.engine().stop();
+        });
+        return latencies;
+    };
+    EXPECT_EQ(run_once(1), run_once(1));
+}
+
+TEST(HotOcall, NrzChangesCostNotData)
+{
+    // With No-Redundant-Zeroing the out-buffer contents delivered to
+    // the enclave are identical; only the zeroing cycles disappear.
+    auto run_once = [](bool nrz) {
+        Fixture f;
+        f.runtime.marshaller().setOptions(
+            {.noRedundantZeroing = nrz});
+        HotCallService hot(f.runtime, Kind::HotOcall, 2);
+        std::vector<std::uint8_t> data;
+        Cycles cost = 0;
+        f.run([&] {
+            hot.start();
+            f.inEnclave([&] {
+                mem::Buffer out(f.machine, mem::Domain::Epc, 2048);
+                for (int i = 0; i < 5; ++i) { // warm
+                    hot.call("ocall_fill", {edl::Arg::buffer(out),
+                                            edl::Arg::value(2048)});
+                }
+                const Cycles t0 = f.machine.now();
+                hot.call("ocall_fill", {edl::Arg::buffer(out),
+                                        edl::Arg::value(2048)});
+                cost = f.machine.now() - t0;
+                data.assign(out.data(), out.data() + 2048);
+            });
+            hot.stop();
+            f.machine.engine().stop();
+        });
+        return std::make_pair(cost, data);
+    };
+    const auto plain = run_once(false);
+    const auto nrz = run_once(true);
+    EXPECT_EQ(plain.second, nrz.second); // same bytes delivered
+    // The 2 KiB byte-wise memset (~2.5k cycles) is gone.
+    EXPECT_GT(plain.first, nrz.first + 2'000);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Measurement-harness tests: batch accounting, the +/-2-cycle RDTSCP
+ * noise, AEX-contaminated-sample discarding (Section 3.1), and the
+ * enclave RDTSCP rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "measure/measure.hh"
+#include "sdk/runtime.hh"
+
+using namespace hc;
+using namespace hc::measure;
+
+namespace {
+
+struct Fixture {
+    mem::Machine machine;
+    sgx::SgxPlatform platform;
+
+    explicit Fixture(double interrupt_mean = 0)
+        : machine([&] {
+              mem::MachineConfig config;
+              config.engine.interruptMeanCycles = interrupt_mean;
+              return config;
+          }()),
+          platform(machine)
+    {
+        platform.installAexHandler();
+    }
+
+    void run(std::function<void()> body)
+    {
+        machine.engine().spawn("test", 0, std::move(body));
+        machine.engine().run();
+    }
+};
+
+} // anonymous namespace
+
+TEST(Measure, CollectsBatchesTimesRuns)
+{
+    Fixture f;
+    f.run([&] {
+        MeasureConfig config;
+        config.batches = 3;
+        config.runsPerBatch = 100;
+        const auto result = measureOp(
+            f.platform, [&] { f.machine.engine().advance(1'000); },
+            config);
+        EXPECT_EQ(result.samples.count(), 300u);
+        EXPECT_EQ(result.discardedAex, 0u);
+        // op cost + one trailing RDTSCP (32) +/- 2 noise.
+        EXPECT_NEAR(result.samples.median(), 1'032.0, 3.0);
+        EXPECT_GE(result.samples.min(), 1'029.0);
+        EXPECT_LE(result.samples.max(), 1'035.0);
+    });
+}
+
+TEST(Measure, SetupRunsOutsideTimedRegion)
+{
+    Fixture f;
+    f.run([&] {
+        MeasureConfig config;
+        config.batches = 1;
+        config.runsPerBatch = 50;
+        const auto result = measureOp(
+            f.platform, [&] { f.machine.engine().advance(100); },
+            config,
+            [&] { f.machine.engine().advance(50'000); });
+        // The expensive setup must not appear in the samples.
+        EXPECT_LT(result.samples.median(), 200.0);
+    });
+}
+
+TEST(Measure, DiscardsInterruptedRuns)
+{
+    Fixture f(/*interrupt_mean=*/20'000);
+    f.run([&] {
+        MeasureConfig config;
+        config.batches = 1;
+        config.runsPerBatch = 2'000;
+        const auto result = measureOp(
+            f.platform, [&] { f.machine.engine().advance(2'000); },
+            config);
+        // ~10% of runs should take an interrupt and be discarded.
+        EXPECT_GT(result.discardedAex, 50u);
+        EXPECT_EQ(result.samples.count() + result.discardedAex,
+                  2'000u);
+        // Surviving samples are clean: no interrupt-service spikes.
+        EXPECT_LT(result.samples.max(), 2'100.0);
+    });
+}
+
+TEST(Measure, OracleVariantWorksInsideEnclave)
+{
+    Fixture f;
+    sdk::EnclaveRuntime runtime(f.platform, "m", R"(
+        enclave {
+            trusted { public void ecall_run(); };
+            untrusted {};
+        };
+    )");
+    MeasureResult result;
+    runtime.registerEcall("ecall_run", [&](edl::StagedCall &) {
+        MeasureConfig config;
+        config.batches = 1;
+        config.runsPerBatch = 100;
+        // RDTSCP would fault here; the oracle clock must not.
+        result = measureOracleOp(
+            f.platform, [&] { f.machine.engine().advance(500); },
+            config);
+    });
+    f.run([&] { runtime.ecall("ecall_run", {}); });
+    EXPECT_EQ(result.samples.count(), 100u);
+    EXPECT_NEAR(result.samples.median(), 500.0, 3.0);
+}
+
+TEST(Measure, RdtscVariantFaultsInsideEnclave)
+{
+    Fixture f;
+    sdk::EnclaveRuntime runtime(f.platform, "m", R"(
+        enclave {
+            trusted { public void ecall_run(); };
+            untrusted {};
+        };
+    )");
+    bool faulted = false;
+    runtime.registerEcall("ecall_run", [&](edl::StagedCall &) {
+        try {
+            measureOp(f.platform, [] {});
+        } catch (const sgx::SgxFault &) {
+            faulted = true;
+        }
+    });
+    f.run([&] { runtime.ecall("ecall_run", {}); });
+    EXPECT_TRUE(faulted);
+}

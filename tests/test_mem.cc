@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Memory-system tests: address space, LLC model, MEE (timing and
+ * integrity), the priced MemoryModel (anchored to Table 1), buffers
+ * and shared variables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "mem/buffer.hh"
+#include "mem/machine.hh"
+#include "mem/shared_var.hh"
+
+using namespace hc;
+using namespace hc::mem;
+
+namespace {
+
+/** Run @p body as a fiber on core @p core and finish the engine. */
+void
+runSim(Machine &machine, std::function<void()> body, CoreId core = 0)
+{
+    machine.engine().spawn("test", core, std::move(body));
+    machine.engine().run();
+}
+
+} // anonymous namespace
+
+// ----------------------------------------------------------------------
+// Address space.
+// ----------------------------------------------------------------------
+
+TEST(AddressSpace, DomainsAreDisjoint)
+{
+    AddressSpace space(64_MiB, 16_MiB);
+    const Addr u = space.allocUntrusted(100);
+    const Addr e = space.allocEpc(100);
+    EXPECT_EQ(space.domainOf(u), Domain::Untrusted);
+    EXPECT_EQ(space.domainOf(e), Domain::Epc);
+    EXPECT_FALSE(space.isEpc(u));
+    EXPECT_TRUE(space.isEpc(e));
+}
+
+TEST(AddressSpace, RangeInDomain)
+{
+    AddressSpace space(64_MiB, 16_MiB);
+    const Addr u = space.allocUntrusted(4096);
+    EXPECT_TRUE(space.rangeInDomain(u, 4096, Domain::Untrusted));
+    EXPECT_FALSE(space.rangeInDomain(u, 4096, Domain::Epc));
+    EXPECT_TRUE(space.rangeInDomain(u, 0, Domain::Epc)); // empty
+}
+
+TEST(AddressSpace, FreeAndReuse)
+{
+    AddressSpace space(1_MiB, 1_MiB);
+    const Addr a = space.allocUntrusted(1000);
+    space.free(a);
+    const Addr b = space.allocUntrusted(1000);
+    EXPECT_EQ(a, b); // free list reuses the block
+}
+
+TEST(AddressSpace, AlignmentHonored)
+{
+    AddressSpace space(64_MiB, 16_MiB);
+    for (std::uint64_t align : {16ull, 64ull, 4096ull}) {
+        const Addr a = space.allocUntrusted(10, align);
+        EXPECT_EQ(a % align, 0u) << "align=" << align;
+    }
+}
+
+TEST(AddressSpace, TracksBytesInUse)
+{
+    AddressSpace space(1_MiB, 1_MiB);
+    const auto before = space.untrusted().bytesInUse();
+    const Addr a = space.allocUntrusted(5000);
+    EXPECT_GT(space.untrusted().bytesInUse(), before);
+    space.free(a);
+    EXPECT_EQ(space.untrusted().bytesInUse(), before);
+}
+
+// ----------------------------------------------------------------------
+// Cache model.
+// ----------------------------------------------------------------------
+
+TEST(CacheModel, MissThenOwnedHit)
+{
+    CacheModel cache(64_KiB, 4);
+    auto first = cache.access(0, 0x1000, false);
+    EXPECT_EQ(first.outcome, CacheOutcome::Miss);
+    auto second = cache.access(0, 0x1000, false);
+    EXPECT_EQ(second.outcome, CacheOutcome::OwnedHit);
+    // Same line, different word.
+    auto third = cache.access(0, 0x1020, false);
+    EXPECT_EQ(third.outcome, CacheOutcome::OwnedHit);
+}
+
+TEST(CacheModel, CrossCoreSharedHit)
+{
+    CacheModel cache(64_KiB, 4);
+    cache.access(0, 0x2000, true);
+    auto other = cache.access(1, 0x2000, false);
+    EXPECT_EQ(other.outcome, CacheOutcome::SharedHit);
+    // Ownership transferred: core 1 now hits locally.
+    auto again = cache.access(1, 0x2000, false);
+    EXPECT_EQ(again.outcome, CacheOutcome::OwnedHit);
+}
+
+TEST(CacheModel, FlushLineForcesMiss)
+{
+    CacheModel cache(64_KiB, 4);
+    cache.access(0, 0x3000, true);
+    EXPECT_TRUE(cache.contains(0x3000));
+    EXPECT_TRUE(cache.flushLine(0x3000)); // was dirty
+    EXPECT_FALSE(cache.contains(0x3000));
+    EXPECT_EQ(cache.access(0, 0x3000, false).outcome,
+              CacheOutcome::Miss);
+    EXPECT_FALSE(cache.flushLine(0x3000 + 0x100000)); // absent
+}
+
+TEST(CacheModel, FlushAllEmptiesEverything)
+{
+    CacheModel cache(64_KiB, 4);
+    for (Addr a = 0; a < 32_KiB; a += 64)
+        cache.access(0, a, false);
+    cache.flushAll();
+    for (Addr a = 0; a < 32_KiB; a += 64)
+        EXPECT_FALSE(cache.contains(a));
+}
+
+TEST(CacheModel, CapacityEvictionOccurs)
+{
+    // Touching more distinct lines than the cache holds must evict.
+    CacheModel small(64 * 4, 2, 64); // 4 lines total
+    bool evicted = false;
+    for (Addr a = 0; a < 64 * 16; a += 64)
+        evicted |= small.access(0, a, true).evicted;
+    EXPECT_TRUE(evicted);
+    EXPECT_EQ(small.misses(), 16u);
+}
+
+TEST(CacheModel, LruKeepsHotLine)
+{
+    // A line re-touched between conflicting fills should survive
+    // while colder lines are evicted (LRU within the set).
+    CacheModel cache(8_KiB, 2);
+    const Addr hot = 0x100;
+    cache.access(0, hot, false);
+    for (Addr a = 0x10000; a < 0x10000 + 64 * 64; a += 64) {
+        cache.access(0, hot, false); // keep hot
+        cache.access(0, a, false);
+    }
+    EXPECT_EQ(cache.access(0, hot, false).outcome,
+              CacheOutcome::OwnedHit);
+}
+
+TEST(CacheModel, EvictionReportsDirtyVictim)
+{
+    CacheModel cache(64 * 2, 1, 64); // 2 sets, direct mapped
+    // Fill every set with dirty lines, then stream clean reads; any
+    // eviction of a dirty line must be reported.
+    for (Addr a = 0; a < 64 * 2; a += 64)
+        cache.access(0, a, true);
+    bool dirty_eviction = false;
+    for (Addr a = 64 * 2; a < 64 * 64; a += 64) {
+        auto r = cache.access(0, a, false);
+        if (r.evicted && r.evictedDirty)
+            dirty_eviction = true;
+    }
+    EXPECT_TRUE(dirty_eviction);
+}
+
+// ----------------------------------------------------------------------
+// MEE.
+// ----------------------------------------------------------------------
+
+TEST(Mee, WalkMissesThenHits)
+{
+    CostParams params;
+    Mee mee(params, 0x1000000, 64_MiB, 0x6b6579);
+    const Addr line = 0x1000000;
+    const int first = mee.readWalkMisses(line);
+    EXPECT_GT(first, 0);
+    const int second = mee.readWalkMisses(line);
+    EXPECT_EQ(second, 0); // covering node now cached
+    mee.clearNodeCache();
+    EXPECT_GT(mee.readWalkMisses(line), 0);
+}
+
+TEST(Mee, TreeLevelsCoverEpc)
+{
+    CostParams params;
+    Mee mee(params, 0, 93_MiB, 1);
+    // 93 MiB / 64 B lines with arity 8 needs 7 levels.
+    EXPECT_EQ(mee.treeLevels(), 7);
+}
+
+TEST(Mee, VerifiesUntouchedLine)
+{
+    CostParams params;
+    Mee mee(params, 0, 1_MiB, 99);
+    EXPECT_TRUE(mee.verifyLine(0));
+    EXPECT_TRUE(mee.verifyLine(64));
+}
+
+TEST(Mee, DetectsMacTampering)
+{
+    CostParams params;
+    Mee mee(params, 0, 1_MiB, 99);
+    mee.writebackLine(0);
+    EXPECT_TRUE(mee.verifyLine(0));
+    mee.tamperMac(0);
+    EXPECT_FALSE(mee.verifyLine(0));
+    EXPECT_TRUE(mee.verifyLine(64)); // neighbors unaffected
+}
+
+TEST(Mee, DetectsRollback)
+{
+    CostParams params;
+    Mee mee(params, 0, 1_MiB, 99);
+    mee.writebackLine(128);
+    mee.writebackLine(128);
+    EXPECT_TRUE(mee.verifyLine(128));
+    // Replay the previous consistent (version, MAC) snapshot: the
+    // MAC itself is valid, but the version lags the tree counter.
+    mee.rollbackLine(128);
+    EXPECT_FALSE(mee.verifyLine(128));
+}
+
+TEST(Mee, WritebackRestoresConsistency)
+{
+    CostParams params;
+    Mee mee(params, 0, 1_MiB, 99);
+    mee.writebackLine(0);
+    mee.tamperMac(0);
+    EXPECT_FALSE(mee.verifyLine(0));
+    mee.writebackLine(0); // fresh write-back re-MACs
+    EXPECT_TRUE(mee.verifyLine(0));
+}
+
+// ----------------------------------------------------------------------
+// MemoryModel: the Table 1 anchors.
+// ----------------------------------------------------------------------
+
+TEST(MemoryModel, Table1Row9LoadMissCosts)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        auto &memory = machine.memory();
+        Buffer enc(machine, Domain::Epc, 64);
+        Buffer plain(machine, Domain::Untrusted, 64);
+        // Warm the tree nodes, then measure the steady-state miss.
+        for (int i = 0; i < 3; ++i) {
+            memory.evictRange(enc.addr(), 64);
+            memory.accessWord(enc.addr(), false);
+        }
+        memory.evictRange(enc.addr(), 64);
+        EXPECT_EQ(memory.accessWord(enc.addr(), false), 400u);
+        memory.evictRange(plain.addr(), 64);
+        EXPECT_EQ(memory.accessWord(plain.addr(), false), 308u);
+    });
+}
+
+TEST(MemoryModel, Table1Row10StoreMissCosts)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        auto &memory = machine.memory();
+        Buffer enc(machine, Domain::Epc, 64);
+        Buffer plain(machine, Domain::Untrusted, 64);
+        memory.evictRange(enc.addr(), 64);
+        EXPECT_EQ(memory.accessWord(enc.addr(), true), 575u);
+        memory.evictRange(plain.addr(), 64);
+        EXPECT_EQ(memory.accessWord(plain.addr(), true), 481u);
+    });
+}
+
+TEST(MemoryModel, Table1Row7SequentialReads)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        Buffer enc(machine, Domain::Epc, 2048);
+        Buffer plain(machine, Domain::Untrusted, 2048);
+        // Steady state after the first sweep.
+        for (int i = 0; i < 4; ++i) {
+            enc.evict();
+            plain.evict();
+            enc.read();
+            plain.read();
+        }
+        enc.evict();
+        plain.evict();
+        const Cycles e = enc.read();
+        const Cycles p = plain.read();
+        EXPECT_NEAR(static_cast<double>(p), 727.0, 5.0);
+        EXPECT_NEAR(static_cast<double>(e), 1124.0, 60.0);
+    });
+}
+
+TEST(MemoryModel, Table1Row8SequentialWrites)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        Buffer enc(machine, Domain::Epc, 2048);
+        Buffer plain(machine, Domain::Untrusted, 2048);
+        enc.evict();
+        plain.evict();
+        const Cycles e = enc.write(true);
+        const Cycles p = plain.write(true);
+        EXPECT_NEAR(static_cast<double>(p), 6458.0, 10.0);
+        EXPECT_NEAR(static_cast<double>(e), 6875.0, 60.0);
+    });
+}
+
+TEST(MemoryModel, CachedAccessIsCheap)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        auto &memory = machine.memory();
+        Buffer buf(machine, Domain::Untrusted, 64);
+        memory.accessWord(buf.addr(), false); // fill
+        const Cycles hit = memory.accessWord(buf.addr(), false);
+        EXPECT_LT(hit, 10u);
+    });
+}
+
+TEST(MemoryModel, ChargesCallingFiber)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        Buffer buf(machine, Domain::Untrusted, 2048);
+        buf.evict();
+        const Cycles before = machine.now();
+        const Cycles cost = buf.read();
+        EXPECT_EQ(machine.now(), before + cost);
+    });
+}
+
+TEST(MemoryModel, NoChargeVariantKeepsClock)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        auto &memory = machine.memory();
+        Buffer buf(machine, Domain::Untrusted, 2048);
+        buf.evict();
+        const Cycles before = machine.now();
+        const Cycles cost = memory.readBuffer(buf.addr(), 2048,
+                                              /*charge_time=*/false);
+        EXPECT_GT(cost, 0u);
+        EXPECT_EQ(machine.now(), before);
+    });
+}
+
+TEST(MemoryModel, IntegrityFailureHookFires)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        auto &memory = machine.memory();
+        Buffer enc(machine, Domain::Epc, 64);
+        memory.accessWord(enc.addr(), true);
+        memory.evictRange(enc.addr(), 64); // write back, re-MAC
+        memory.mee().tamperMac(enc.addr());
+        int failures = 0;
+        memory.setIntegrityFailureHook(
+            [&](Addr) { ++failures; });
+        memory.accessWord(enc.addr(), false);
+        EXPECT_EQ(failures, 1);
+    });
+}
+
+TEST(MemoryModel, PageTouchHookSeesEpcPagesOnly)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        auto &memory = machine.memory();
+        std::uint64_t touches = 0;
+        memory.setPageTouchHook([&](Addr, bool) -> Cycles {
+            ++touches;
+            return 0;
+        });
+        Buffer enc(machine, Domain::Epc, 4096);
+        Buffer plain(machine, Domain::Untrusted, 4096);
+        memory.readBuffer(enc.addr(), 4096);
+        EXPECT_GT(touches, 0u);
+        const std::uint64_t after_epc = touches;
+        memory.readBuffer(plain.addr(), 4096);
+        EXPECT_EQ(touches, after_epc); // untrusted: no hook
+        memory.setPageTouchHook(nullptr);
+    });
+}
+
+TEST(MemoryModel, PageTouchCostIsCharged)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        auto &memory = machine.memory();
+        memory.setPageTouchHook(
+            [](Addr, bool) -> Cycles { return 10'000; });
+        Buffer enc(machine, Domain::Epc, 64);
+        const Cycles cost = memory.accessWord(enc.addr(), false);
+        EXPECT_GE(cost, 10'000u);
+        memory.setPageTouchHook(nullptr);
+    });
+}
+
+// ----------------------------------------------------------------------
+// Buffer and SharedVar.
+// ----------------------------------------------------------------------
+
+TEST(Buffer, HoldsFunctionalBytes)
+{
+    Machine machine;
+    Buffer buf(machine, Domain::Untrusted, 128);
+    for (std::uint64_t i = 0; i < 128; ++i)
+        EXPECT_EQ(buf.data()[i], 0); // zero initialized
+    buf.data()[5] = 42;
+    EXPECT_EQ(buf.data()[5], 42);
+    EXPECT_EQ(buf.size(), 128u);
+}
+
+TEST(Buffer, MoveTransfersOwnership)
+{
+    Machine machine;
+    Buffer a(machine, Domain::Epc, 64);
+    const Addr addr = a.addr();
+    Buffer b(std::move(a));
+    EXPECT_EQ(b.addr(), addr);
+    EXPECT_TRUE(machine.space().isEpc(b.addr()));
+}
+
+TEST(SharedVar, PricedOperations)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        SharedVar<int> var(machine, Domain::Untrusted, 7);
+        EXPECT_EQ(var.load(), 7);
+        var.store(9);
+        EXPECT_EQ(var.peek(), 9);
+        EXPECT_FALSE(var.compareExchange(7, 1));
+        EXPECT_TRUE(var.compareExchange(9, 1));
+        EXPECT_EQ(var.peek(), 1);
+    });
+}
+
+TEST(SharedVar, CrossCoreTransferCostsMore)
+{
+    Machine machine;
+    auto &engine = machine.engine();
+    Cycles local_cost = 0, remote_cost = 0;
+    auto var = std::make_unique<SharedVar<int>>(
+        machine, Domain::Untrusted, 0);
+    engine.spawn("writer", 0, [&] {
+        var->store(1);
+        const Cycles t0 = engine.now();
+        var->store(2); // second store: owned line
+        local_cost = engine.now() - t0;
+    });
+    engine.spawn("reader", 1, [&] {
+        engine.sleepUntil(100'000);
+        const Cycles t0 = engine.now();
+        var->load(); // line owned by core 0
+        remote_cost = engine.now() - t0;
+    });
+    engine.run();
+    EXPECT_LT(local_cost, remote_cost);
+}
+
+// ----------------------------------------------------------------------
+// Cost-model properties.
+// ----------------------------------------------------------------------
+
+/** Property: cold sequential-read cost is monotone in length. */
+class ReadCostMonotone : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReadCostMonotone, LongerBuffersCostMore)
+{
+    Machine machine;
+    const bool epc = GetParam() != 0;
+    runSim(machine, [&] {
+        Cycles last = 0;
+        for (std::uint64_t len : {64ull, 512ull, 2048ull, 8192ull,
+                                  32768ull}) {
+            Buffer buf(machine, epc ? Domain::Epc : Domain::Untrusted,
+                       len);
+            buf.evict();
+            // Warm the MEE tree once so the comparison is steady
+            // state, then measure cold-in-LLC.
+            buf.read();
+            buf.evict();
+            const Cycles cost = buf.read();
+            EXPECT_GT(cost, last) << "len=" << len;
+            last = cost;
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, ReadCostMonotone,
+                         ::testing::Values(0, 1));
+
+TEST(MemoryModel, EncryptedAlwaysCostsAtLeastPlain)
+{
+    Machine machine;
+    runSim(machine, [&] {
+        for (std::uint64_t len :
+             {64ull, 1024ull, 4096ull, 65536ull}) {
+            Buffer enc(machine, Domain::Epc, len);
+            Buffer plain(machine, Domain::Untrusted, len);
+            // steady state
+            for (int i = 0; i < 2; ++i) {
+                enc.evict();
+                enc.read();
+                plain.evict();
+                plain.read();
+            }
+            enc.evict();
+            plain.evict();
+            EXPECT_GE(enc.read(), plain.read()) << "len=" << len;
+        }
+    });
+}

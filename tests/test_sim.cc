@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Tests for the discrete-event engine: fibers, virtual-time
+ * scheduling, blocking, timeouts, determinism, interrupts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/fiber.hh"
+
+using namespace hc;
+using namespace hc::sim;
+
+// ----------------------------------------------------------------------
+// Fiber.
+// ----------------------------------------------------------------------
+
+TEST(Fiber, RunsBodyOnSwitchTo)
+{
+    int state = 0;
+    Fiber fiber([&] { state = 1; });
+    EXPECT_EQ(state, 0);
+    fiber.switchTo();
+    EXPECT_EQ(state, 1);
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, SuspendsAndResumes)
+{
+    std::vector<int> order;
+    Fiber *self = nullptr;
+    Fiber fiber([&] {
+        order.push_back(1);
+        self->switchBack();
+        order.push_back(3);
+    });
+    self = &fiber;
+    fiber.switchTo();
+    order.push_back(2);
+    fiber.switchTo();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(fiber.finished());
+}
+
+// ----------------------------------------------------------------------
+// Engine basics.
+// ----------------------------------------------------------------------
+
+TEST(Engine, RunsSingleThreadToCompletion)
+{
+    Engine engine;
+    Cycles end_time = 0;
+    engine.spawn("t", 0, [&] {
+        engine.advance(100);
+        engine.advance(50);
+        end_time = engine.now();
+    });
+    engine.run();
+    EXPECT_EQ(end_time, 150u);
+    EXPECT_EQ(engine.coreNow(0), 150u);
+}
+
+TEST(Engine, InterleavesByVirtualTime)
+{
+    Engine engine;
+    std::vector<std::string> order;
+    engine.spawn("slow", 0, [&] {
+        engine.advance(100);
+        order.push_back("slow@100");
+        engine.advance(100);
+        order.push_back("slow@200");
+    });
+    engine.spawn("fast", 1, [&] {
+        engine.advance(30);
+        order.push_back("fast@30");
+        engine.advance(120);
+        order.push_back("fast@150");
+    });
+    engine.run();
+    EXPECT_EQ(order, (std::vector<std::string>{
+                         "fast@30", "slow@100", "fast@150",
+                         "slow@200"}));
+}
+
+TEST(Engine, SameCoreTimeShares)
+{
+    Engine engine;
+    std::vector<int> order;
+    engine.spawn("a", 0, [&] {
+        order.push_back(1);
+        engine.yield();
+        order.push_back(3);
+    });
+    engine.spawn("b", 0, [&] {
+        order.push_back(2);
+        engine.yield();
+        order.push_back(4);
+    });
+    engine.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Engine, SleepWakesAtRequestedTime)
+{
+    Engine engine;
+    Cycles woke_at = 0;
+    engine.spawn("sleeper", 0, [&] {
+        engine.sleepUntil(5'000);
+        woke_at = engine.now();
+    });
+    engine.run();
+    EXPECT_EQ(woke_at, 5'000u);
+}
+
+TEST(Engine, SleepForIsRelative)
+{
+    Engine engine;
+    Cycles woke_at = 0;
+    engine.spawn("sleeper", 0, [&] {
+        engine.advance(100);
+        engine.sleepFor(400);
+        woke_at = engine.now();
+    });
+    engine.run();
+    EXPECT_EQ(woke_at, 500u);
+}
+
+// ----------------------------------------------------------------------
+// Wait queues and timeouts.
+// ----------------------------------------------------------------------
+
+TEST(Engine, NotifyWakesWaiterAtNotifierTime)
+{
+    Engine engine;
+    WaitQueue queue;
+    Cycles woke_at = 0;
+    engine.spawn("waiter", 0, [&] {
+        engine.wait(queue);
+        woke_at = engine.now();
+    });
+    engine.spawn("notifier", 1, [&] {
+        engine.advance(777);
+        engine.notifyOne(queue);
+    });
+    engine.run();
+    EXPECT_EQ(woke_at, 777u);
+}
+
+TEST(Engine, WaitUntilTimesOut)
+{
+    Engine engine;
+    WaitQueue queue;
+    bool notified = true;
+    Cycles woke_at = 0;
+    engine.spawn("waiter", 0, [&] {
+        notified = engine.waitUntil(queue, 1'000);
+        woke_at = engine.now();
+    });
+    engine.run();
+    EXPECT_FALSE(notified);
+    EXPECT_EQ(woke_at, 1'000u);
+}
+
+TEST(Engine, NotifyBeforeDeadlineBeatsTimeout)
+{
+    Engine engine;
+    WaitQueue queue;
+    bool notified = false;
+    Cycles woke_at = 0;
+    engine.spawn("waiter", 0, [&] {
+        notified = engine.waitUntil(queue, 10'000);
+        woke_at = engine.now();
+    });
+    engine.spawn("notifier", 1, [&] {
+        engine.advance(400);
+        engine.notifyOne(queue);
+    });
+    engine.run();
+    EXPECT_TRUE(notified);
+    EXPECT_EQ(woke_at, 400u);
+}
+
+TEST(Engine, NotifyAllWakesEveryWaiter)
+{
+    Engine engine;
+    WaitQueue queue;
+    int woken = 0;
+    for (int i = 0; i < 5; ++i) {
+        engine.spawn("waiter" + std::to_string(i), i % 4, [&] {
+            engine.wait(queue);
+            ++woken;
+        });
+    }
+    engine.spawn("notifier", 4, [&] {
+        engine.advance(10);
+        engine.notifyAll(queue);
+    });
+    engine.run();
+    EXPECT_EQ(woken, 5);
+}
+
+TEST(Engine, WaiterCount)
+{
+    Engine engine;
+    WaitQueue queue;
+    engine.spawn("waiter", 0, [&] { engine.wait(queue); });
+    engine.spawn("checker", 1, [&] {
+        engine.advance(100);
+        EXPECT_EQ(queue.waiterCount(), 1u);
+        engine.notifyOne(queue);
+    });
+    engine.run();
+    EXPECT_EQ(queue.waiterCount(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// Cross-thread ordering (the property HotCalls depends on).
+// ----------------------------------------------------------------------
+
+TEST(Engine, PollingThreadSeesWriteAtRightVirtualTime)
+{
+    Engine engine;
+    int flag = 0;
+    Cycles seen_at = 0;
+    engine.spawn("poller", 0, [&] {
+        while (flag == 0)
+            engine.advance(10);
+        seen_at = engine.now();
+    });
+    engine.spawn("writer", 1, [&] {
+        engine.advance(1'005);
+        flag = 1;
+    });
+    engine.run();
+    // The poller polls every 10 cycles, so it observes the write on
+    // its first poll at/after 1,005.
+    EXPECT_GE(seen_at, 1'005u);
+    EXPECT_LE(seen_at, 1'020u);
+}
+
+TEST(Engine, StopEndsRunWithLiveThreads)
+{
+    Engine engine;
+    std::uint64_t iterations = 0;
+    engine.spawn("spinner", 0, [&] {
+        for (;;) {
+            engine.advance(100);
+            ++iterations;
+        }
+    });
+    engine.spawn("stopper", 1, [&] {
+        engine.sleepUntil(10'000);
+        engine.stop();
+    });
+    engine.run();
+    EXPECT_TRUE(engine.stopRequested());
+    EXPECT_GE(iterations, 90u);
+    EXPECT_LE(iterations, 120u);
+}
+
+TEST(Engine, ExitThreadTerminatesImmediately)
+{
+    Engine engine;
+    bool after_exit = false;
+    engine.spawn("quitter", 0, [&] {
+        engine.advance(5);
+        engine.exitThread();
+        after_exit = true; // must not run
+    });
+    engine.run();
+    EXPECT_FALSE(after_exit);
+}
+
+TEST(Engine, SpawnFromRunningThread)
+{
+    Engine engine;
+    Cycles child_start = 0;
+    engine.spawn("parent", 0, [&] {
+        engine.advance(250);
+        engine.spawn("child", 1, [&] {
+            child_start = engine.now();
+        });
+        engine.advance(250);
+    });
+    engine.run();
+    EXPECT_EQ(child_start, 250u);
+}
+
+// ----------------------------------------------------------------------
+// Determinism.
+// ----------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::uint64_t>
+runScenario(std::uint64_t seed)
+{
+    Engine::Config config;
+    config.seed = seed;
+    Engine engine(config);
+    WaitQueue queue;
+    std::vector<std::uint64_t> events;
+    engine.spawn("producer", 0, [&] {
+        for (int i = 0; i < 50; ++i) {
+            engine.advance(
+                10 + engine.rng().nextBelow(90));
+            engine.notifyOne(queue);
+            events.push_back(engine.now());
+        }
+        engine.stop();
+    });
+    engine.spawn("consumer", 1, [&] {
+        for (;;) {
+            engine.waitUntil(queue, engine.now() + 500);
+            events.push_back(engine.now() + 1'000'000);
+        }
+    });
+    engine.run();
+    return events;
+}
+
+} // anonymous namespace
+
+TEST(Engine, DeterministicForFixedSeed)
+{
+    EXPECT_EQ(runScenario(11), runScenario(11));
+}
+
+TEST(Engine, SeedChangesSchedule)
+{
+    EXPECT_NE(runScenario(11), runScenario(12));
+}
+
+// ----------------------------------------------------------------------
+// Interrupts.
+// ----------------------------------------------------------------------
+
+TEST(Engine, InterruptsFireAtConfiguredRate)
+{
+    Engine::Config config;
+    config.interruptMeanCycles = 10'000;
+    Engine engine(config);
+    std::uint64_t handler_calls = 0;
+    engine.setInterruptHandler([&](CoreId, Cycles) -> Cycles {
+        ++handler_calls;
+        return 100;
+    });
+    engine.spawn("worker", 0, [&] {
+        for (int i = 0; i < 10'000; ++i)
+            engine.advance(100);
+    });
+    engine.run();
+    // ~1M busy cycles at one interrupt per ~10k -> about 100.
+    EXPECT_GT(handler_calls, 60u);
+    EXPECT_LT(handler_calls, 150u);
+    EXPECT_EQ(engine.interruptCount(), handler_calls);
+}
+
+TEST(Engine, InterruptCostAdvancesClock)
+{
+    Engine::Config config;
+    config.interruptMeanCycles = 1'000;
+    Engine engine(config);
+    engine.setInterruptHandler(
+        [](CoreId, Cycles) -> Cycles { return 5'000; });
+    Cycles end = 0;
+    engine.spawn("worker", 0, [&] {
+        for (int i = 0; i < 100; ++i)
+            engine.advance(100);
+        end = engine.now();
+    });
+    engine.run();
+    // 10k busy cycles + ~10 interrupts x 5k handler cycles.
+    EXPECT_GT(end, 30'000u);
+}
+
+TEST(Engine, NoInterruptsWhenDisabled)
+{
+    Engine engine; // default: disabled
+    engine.setInterruptHandler([](CoreId, Cycles) -> Cycles {
+        ADD_FAILURE() << "interrupt fired while disabled";
+        return 0;
+    });
+    engine.spawn("worker", 0,
+                 [&] { engine.advance(100'000'000); });
+    engine.run();
+    EXPECT_EQ(engine.interruptCount(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// Multi-core properties.
+// ----------------------------------------------------------------------
+
+/** Property: per-core clocks stay consistent however many cores. */
+class EngineCores : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EngineCores, BusyCoresAdvanceIndependently)
+{
+    Engine::Config config;
+    config.numCores = GetParam();
+    Engine engine(config);
+    const int cores = engine.numCores();
+    std::vector<Cycles> end_times(
+        static_cast<std::size_t>(cores));
+    for (int c = 0; c < cores; ++c) {
+        engine.spawn("w" + std::to_string(c), c, [&, c] {
+            // Each core burns a different amount of time.
+            for (int i = 0; i <= c; ++i)
+                engine.advance(1'000);
+            end_times[static_cast<std::size_t>(c)] = engine.now();
+        });
+    }
+    engine.run();
+    for (int c = 0; c < cores; ++c) {
+        EXPECT_EQ(end_times[static_cast<std::size_t>(c)],
+                  static_cast<Cycles>(c + 1) * 1'000)
+            << "core " << c;
+        EXPECT_EQ(engine.coreNow(c),
+                  static_cast<Cycles>(c + 1) * 1'000);
+    }
+}
+
+TEST_P(EngineCores, NotificationOrderIsFifo)
+{
+    // All waiters share one core so their execution order exposes
+    // the queue's release order (across cores, execution order is a
+    // scheduling matter, not a queue property).
+    Engine::Config config;
+    config.numCores = GetParam();
+    Engine engine(config);
+    WaitQueue queue;
+    std::vector<int> wake_order;
+    const int waiter_core = engine.numCores() - 1;
+    const int waiters = 6;
+    for (int i = 0; i < waiters; ++i) {
+        engine.spawn("w" + std::to_string(i), waiter_core, [&, i] {
+            engine.wait(queue);
+            wake_order.push_back(i);
+        });
+    }
+    engine.spawn("notifier", 0, [&] {
+        engine.sleepUntil(1'000);
+        for (int i = 0; i < waiters; ++i)
+            engine.notifyOne(queue);
+    });
+    engine.run();
+    ASSERT_EQ(static_cast<int>(wake_order.size()), waiters);
+    // FIFO release: waiters parked in spawn order wake in order.
+    for (int i = 0; i < waiters; ++i)
+        EXPECT_EQ(wake_order[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, EngineCores,
+                         ::testing::Values(1, 2, 4, 8, 16));
