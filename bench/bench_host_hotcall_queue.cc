@@ -186,4 +186,34 @@ BM_SimulatedSdkEcall(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatedSdkEcall);
 
+static void
+BM_HotCallRoundtrip(benchmark::State &state)
+{
+    // Host cost of simulating one HotEcall round trip through the
+    // shared-line channel (requester + polling responder fibers).
+    constexpr int kCalls = 1'000;
+    for (auto _ : state) {
+        mem::Machine machine;
+        sgx::SgxPlatform platform(machine);
+        sdk::EnclaveRuntime runtime(platform, "bench", kBenchEdl);
+        runtime.registerEcall("ecall_empty",
+                              [](edl::StagedCall &) {});
+        hotcalls::HotCallService hot(runtime,
+                                     hotcalls::Kind::HotEcall, 1);
+        auto &engine = machine.engine();
+        engine.spawn("driver", 0, [&] {
+            hot.start();
+            const int id = runtime.ecallId("ecall_empty");
+            for (int i = 0; i < kCalls; ++i)
+                hot.call(id, {});
+            hot.stop();
+            engine.stop();
+        });
+        engine.run();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kCalls);
+}
+BENCHMARK(BM_HotCallRoundtrip);
+
 BENCHMARK_MAIN();

@@ -34,8 +34,36 @@ HotCallService::HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
 
 HotCallService::~HotCallService()
 {
-    stopRequested_ = true;
-    machine_.space().free(channelLine_);
+    // stop() joins the responder; without it a still-polling
+    // responder would touch the channel line after the free below.
+    // A responder that could not be joined (e.g. blocked inside a
+    // kernel ocall that never returns) may still hold the line, so
+    // it is deliberately leaked in that case.
+    stop();
+    if (!responder_ || responder_->state() == sim::ThreadState::Done)
+        machine_.space().free(channelLine_);
+}
+
+void
+HotCallService::joinResponder()
+{
+    // Only possible from inside a simulated thread while the engine
+    // is still running; outside (e.g. teardown after Engine::run()
+    // returned) the responder cannot execute anymore, so there is
+    // nothing to wait for. The wait is bounded: a responder stuck in
+    // a blocking ocall handler (no more traffic will ever arrive)
+    // must not livelock teardown.
+    constexpr Cycles kJoinGrace = 2'000'000;
+    constexpr Cycles kJoinStep = 500;
+    auto *engine = sim::Engine::current();
+    if (!engine || !engine->currentThread() || !responder_)
+        return;
+    for (Cycles waited = 0;
+         responder_->state() != sim::ThreadState::Done &&
+         !engine->stopRequested() && waited < kJoinGrace;
+         waited += kJoinStep) {
+        engine->advance(kJoinStep);
+    }
 }
 
 void
@@ -57,12 +85,22 @@ HotCallService::start()
 void
 HotCallService::stop()
 {
+    if (stopped_)
+        return;
     stopRequested_ = true;
-    if (sleeping_) {
-        sleepMutex_.lock();
+    auto *engine = sim::Engine::current();
+    if (!engine || !engine->currentThread())
+        return; // outside the simulation nothing can still run
+    // The sleeping_ flag is handed over under sleepMutex_: the
+    // responder only commits to wait() while holding the mutex, so
+    // checking the flag inside it cannot race with a responder that
+    // is about to park (which would miss this signal).
+    sleepMutex_.lock();
+    if (sleeping_)
         sleepCond_.signal();
-        sleepMutex_.unlock();
-    }
+    sleepMutex_.unlock();
+    joinResponder();
+    stopped_ = true;
 }
 
 std::uint64_t
@@ -130,10 +168,16 @@ HotCallService::call(int id, const edl::Args &args)
 
         if (sleeping_) {
             // Responder parked: wake it before waiting (Section 4.2,
-            // "Conserving resources at idle times").
-            ++stats_.wakeups;
+            // "Conserving resources at idle times"). The flag handoff
+            // happens under sleepMutex_: the responder re-checks the
+            // busy flag inside the mutex before parking, so either we
+            // see sleeping_ here and signal, or the responder sees
+            // our published request and never parks.
             sleepMutex_.lock();
-            sleepCond_.signal();
+            if (sleeping_) {
+                ++stats_.wakeups;
+                sleepCond_.signal();
+            }
             sleepMutex_.unlock();
         }
 
@@ -257,15 +301,23 @@ HotCallService::responderLoop()
             idle_polls > config_.idlePollsBeforeSleep &&
             !stopRequested_) {
             // Conserve the core: park on the condition variable until
-            // a requester (or stop()) signals.
-            ++stats_.responderSleeps;
-            sleeping_ = true;
-            touchChannel(true);
+            // a requester (or stop()) signals. Commit to parking only
+            // under sleepMutex_, re-checking the busy flag and the
+            // stop request inside it: a requester publishes first and
+            // checks sleeping_ afterwards (under the same mutex), so
+            // a request that raced our decision to park is seen here
+            // and served instead of slept through.
             sleepMutex_.lock();
-            sleepCond_.wait(sleepMutex_);
+            touchChannel(false);
+            if (!go_ && !stopRequested_) {
+                ++stats_.responderSleeps;
+                sleeping_ = true;
+                touchChannel(true);
+                sleepCond_.wait(sleepMutex_);
+                sleeping_ = false;
+                touchChannel(true);
+            }
             sleepMutex_.unlock();
-            sleeping_ = false;
-            touchChannel(true);
             idle_polls = 0;
         }
     }

@@ -44,6 +44,35 @@ enum class Kind {
     HotOcall, //!< trusted requester -> untrusted responder
 };
 
+/**
+ * Common interface of the fast-call channels: the paper's single-line
+ * HotCallService and the multi-slot HotQueue (hotqueue.hh) are
+ * drop-in alternatives behind it, so callers (the porting layer, the
+ * apps) can switch implementations by construction only.
+ */
+class Channel
+{
+  public:
+    virtual ~Channel() = default;
+
+    /** Spawn the responder side (must be called before call()). */
+    virtual void start() = 0;
+
+    /** Ask the responders to exit and wait for them to do so. */
+    virtual void stop() = 0;
+
+    /**
+     * Issue a call through the channel; falls back to the
+     * conventional SDK call when the channel cannot take it.
+     * @return the callee's scalar return value
+     */
+    virtual std::uint64_t call(int id, const edl::Args &args) = 0;
+
+    /** Name-resolving convenience overload. */
+    virtual std::uint64_t call(const std::string &name,
+                               const edl::Args &args) = 0;
+};
+
 /** Tunables (paper Section 4.2). */
 struct HotCallConfig {
     /** Lock/busy attempts before falling back to the SDK call. The
@@ -74,7 +103,7 @@ struct HotCallStats {
 /**
  * One HotCall service: a shared channel plus its responder thread.
  */
-class HotCallService
+class HotCallService : public Channel
 {
   public:
     /**
@@ -87,16 +116,20 @@ class HotCallService
     HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
                    CoreId responder_core, HotCallConfig config = {});
 
-    ~HotCallService();
+    ~HotCallService() override;
 
     HotCallService(const HotCallService &) = delete;
     HotCallService &operator=(const HotCallService &) = delete;
 
     /** Spawn the responder thread (must be called before call()). */
-    void start();
+    void start() override;
 
-    /** Ask the responder to exit its loop. */
-    void stop();
+    /**
+     * Ask the responder to exit its loop and (when invoked from a
+     * simulated thread) wait until it has actually exited, so the
+     * channel line can be released safely afterwards. Idempotent.
+     */
+    void stop() override;
 
     /**
      * Issue a call through the channel.
@@ -108,10 +141,11 @@ class HotCallService
      *
      * @return the callee's scalar return value
      */
-    std::uint64_t call(int id, const edl::Args &args);
+    std::uint64_t call(int id, const edl::Args &args) override;
 
     /** Name-resolving convenience overload. */
-    std::uint64_t call(const std::string &name, const edl::Args &args);
+    std::uint64_t call(const std::string &name,
+                       const edl::Args &args) override;
 
     const HotCallStats &stats() const { return stats_; }
     Kind kind() const { return kind_; }
@@ -120,6 +154,9 @@ class HotCallService
   private:
     /** The responder thread body. */
     void responderLoop();
+
+    /** Wait (charging time) until the responder fiber has exited. */
+    void joinResponder();
 
     /** One priced access to the shared channel line. */
     void touchChannel(bool write);
@@ -160,6 +197,7 @@ class HotCallService
 
     sim::Thread *responder_ = nullptr;
     bool stopRequested_ = false;
+    bool stopped_ = false; //!< stop() completed (join done)
     HotCallStats stats_;
 };
 

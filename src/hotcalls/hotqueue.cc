@@ -1,0 +1,434 @@
+/**
+ * @file
+ * HotQueue implementation.
+ *
+ * Functional ring state lives host-side; every protocol step prices
+ * the simulated line it would touch (slot lines, cursor lines), so
+ * the coherence model charges producers and consumers exactly as a
+ * real multi-line channel would. Mutations of the functional state
+ * are grouped so no virtual time is charged between a validity check
+ * and the matching update — at simulation level each claim/grab is
+ * atomic, mirroring the cmpxchg a native implementation would use.
+ */
+
+#include "hotcalls/hotqueue.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hc::hotcalls {
+
+namespace {
+
+/** Requester-side fixed glue (argument packing around the channel). */
+constexpr Cycles kRequesterFixed = 95;
+/** Responder-side fixed dispatch (call-table lookup, jump). */
+constexpr Cycles kResponderFixed = 85;
+
+} // anonymous namespace
+
+HotQueue::HotQueue(sdk::EnclaveRuntime &runtime, Kind kind,
+                   HotQueueConfig config)
+    : runtime_(runtime), machine_(runtime.platform().machine()),
+      kind_(kind), config_(std::move(config)),
+      poolMutex_(machine_), poolCond_(machine_)
+{
+    config_.numSlots = std::max(config_.numSlots, 1);
+    if (config_.responderCores.empty())
+        config_.responderCores = {2};
+    config_.minResponders = std::clamp(
+        config_.minResponders, 1,
+        static_cast<int>(config_.responderCores.size()));
+
+    // One 64-byte line per slot plus one per cursor: producers on
+    // different slots do not false-share, and the producer cursor
+    // does not bounce with the consumer cursor.
+    slots_.resize(static_cast<std::size_t>(config_.numSlots));
+    for (auto &slot : slots_) {
+        slot.line = machine_.space().allocUntrusted(kCacheLineSize,
+                                                    kCacheLineSize);
+    }
+    headLine_ =
+        machine_.space().allocUntrusted(kCacheLineSize, kCacheLineSize);
+    tailLine_ =
+        machine_.space().allocUntrusted(kCacheLineSize, kCacheLineSize);
+}
+
+HotQueue::~HotQueue()
+{
+    // stop() joins the pool; without it a still-polling responder
+    // would touch the ring lines after the frees below. If a
+    // responder could not be joined (e.g. it is blocked inside an
+    // ocall handler that never returns), the lines are deliberately
+    // leaked instead of pulled out from under it.
+    stop();
+    for (sim::Thread *responder : responders_) {
+        if (responder->state() != sim::ThreadState::Done)
+            return;
+    }
+    for (auto &slot : slots_)
+        machine_.space().free(slot.line);
+    machine_.space().free(headLine_);
+    machine_.space().free(tailLine_);
+}
+
+void
+HotQueue::touchSlot(std::size_t index, bool write)
+{
+    machine_.memory().accessWord(slots_[index].line, write);
+}
+
+void
+HotQueue::touchHead(bool write)
+{
+    machine_.memory().accessWord(headLine_, write);
+}
+
+void
+HotQueue::touchTail(bool write)
+{
+    machine_.memory().accessWord(tailLine_, write);
+}
+
+std::uint64_t
+HotQueue::scaleUpDepth() const
+{
+    if (config_.scaleUpDepth > 0)
+        return static_cast<std::uint64_t>(config_.scaleUpDepth);
+    return std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(config_.numSlots) / 2);
+}
+
+void
+HotQueue::start()
+{
+    hc_assert(responders_.empty());
+    const char *base = kind_ == Kind::HotEcall ? "hotq-ecall-resp"
+                                               : "hotq-ocall-resp";
+    for (std::size_t i = 0; i < config_.responderCores.size(); ++i) {
+        const int index = static_cast<int>(i);
+        responders_.push_back(machine_.engine().spawn(
+            base + std::to_string(i), config_.responderCores[i],
+            [this, index] { responderLoop(index); }));
+    }
+}
+
+void
+HotQueue::stop()
+{
+    if (stopped_)
+        return;
+    stopRequested_ = true;
+    auto *engine = sim::Engine::current();
+    if (!engine || !engine->currentThread())
+        return; // outside the simulation nothing can still run
+    // Wake every parked responder so it can observe the stop request;
+    // the handoff happens under poolMutex_ (a responder only commits
+    // to wait() while holding it).
+    poolMutex_.lock();
+    poolCond_.broadcast();
+    poolMutex_.unlock();
+    // Join: the ring lines must stay alive until the last responder
+    // has exited its loop. The wait is bounded per responder: one
+    // stuck inside a blocking ocall handler (whose wakeup will never
+    // come) must not livelock teardown.
+    constexpr Cycles kJoinGrace = 2'000'000;
+    constexpr Cycles kJoinStep = 500;
+    for (sim::Thread *responder : responders_) {
+        for (Cycles waited = 0;
+             responder->state() != sim::ThreadState::Done &&
+             !engine->stopRequested() && waited < kJoinGrace;
+             waited += kJoinStep) {
+            engine->advance(kJoinStep);
+        }
+    }
+    stopped_ = true;
+}
+
+std::uint64_t
+HotQueue::call(const std::string &name, const edl::Args &args)
+{
+    const int id = kind_ == Kind::HotOcall ? runtime_.ocallId(name)
+                                           : runtime_.ecallId(name);
+    return call(id, args);
+}
+
+std::uint64_t
+HotQueue::call(int id, const edl::Args &args)
+{
+    hc_assert(!responders_.empty());
+    auto &engine = machine_.engine();
+    auto &rng = engine.rng();
+
+    const bool is_ocall = kind_ == Kind::HotOcall;
+    if (is_ocall &&
+        !runtime_.platform().inEnclave(machine_.currentCore())) {
+        throw sgx::SgxFault("HotOcall issued outside enclave mode");
+    }
+
+    engine.advance(kRequesterFixed);
+
+    for (int attempt = 0; attempt < config_.timeoutTries; ++attempt) {
+        // Probe the producer cursor and the slot it points at.
+        touchTail(false);
+        const std::uint64_t ticket = tail_;
+        const std::size_t idx = ticket % slots_.size();
+        Slot &slot = slots_[idx];
+        touchSlot(idx, false);
+        // Re-validate after the priced probes (another producer may
+        // have claimed meanwhile), then claim with no time charged in
+        // between — the simulation-level equivalent of cmpxchg.
+        if (tail_ != ticket || slot.state != SlotState::Free) {
+            // Ring full or claim lost: more load than the active
+            // pool drains; try to grow it.
+            wakeOneResponder(true);
+            engine.advance(sdk::kPauseCycles +
+                           rng.nextBelow(config_.pollJitter + 1));
+            continue;
+        }
+        slot.state = SlotState::Publishing;
+        tail_ = ticket + 1;
+        stats_.depth.add(pending());
+        touchTail(true); // publish the cursor
+
+        // Marshal into the claimed slot (a HotOcall requester runs
+        // the same edger8r-generated trusted wrapper the SDK would).
+        edl::StagedCall staged;
+        EcallRequest ecall_req;
+        if (is_ocall) {
+            const auto &fn =
+                runtime_.edlFile()
+                    .untrusted[static_cast<std::size_t>(id)];
+            staged = runtime_.marshaller().stageOcall(fn, args);
+            slot.ocall = &staged;
+        } else {
+            ecall_req.args = &args;
+            slot.ecall = &ecall_req;
+        }
+        slot.callId = id;
+        slot.state = SlotState::Ready;
+        touchSlot(idx, true); // publish *data, call_ID, ready flag
+
+        // More backlog than the active responders drain promptly:
+        // wake a parked pool member (configless-style scale-up).
+        if (pending() >= scaleUpDepth())
+            wakeOneResponder(true);
+
+        // Wait for completion: a responder marks the slot done once
+        // it has executed the call and filled the response.
+        for (;;) {
+            touchSlot(idx, false);
+            if (slot.state == SlotState::Done)
+                break;
+            engine.advance(sdk::kPauseCycles +
+                           rng.nextBelow(config_.pollJitter + 1));
+        }
+        // Harvest, then release the slot to the next producer.
+        slot.callId = -1;
+        slot.ocall = nullptr;
+        slot.ecall = nullptr;
+        slot.state = SlotState::Free;
+        touchSlot(idx, true);
+        ++stats_.calls;
+
+        if (is_ocall) {
+            runtime_.marshaller().finishOcall(staged);
+            return staged.retval();
+        }
+        return ecall_req.retval;
+    }
+
+    // The ring stayed full for `timeoutTries` probes: fall back to
+    // the conventional SDK call (starvation prevention, Section 4.2)
+    // and make sure the pool scales up for the next burst.
+    ++stats_.fallbacks;
+    wakeOneResponder(true);
+    return is_ocall ? runtime_.ocall(id, args)
+                    : runtime_.ecall(id, args);
+}
+
+void
+HotQueue::serveRequest(Slot &slot)
+{
+    const Cycles start = machine_.now();
+    auto &engine = machine_.engine();
+    engine.advance(kResponderFixed);
+
+    if (kind_ == Kind::HotOcall) {
+        hc_assert(slot.ocall);
+        runtime_.dispatchOcallDirect(slot.callId, *slot.ocall);
+    } else {
+        // HotEcall: the trusted responder runs the original
+        // edger8r-style wrapper — staging (copy-in), the trusted
+        // function, and copy-out all execute inside the enclave.
+        hc_assert(slot.ecall);
+        const auto &fn =
+            runtime_.edlFile()
+                .trusted[static_cast<std::size_t>(slot.callId)];
+        auto staged =
+            runtime_.marshaller().stageEcall(fn, *slot.ecall->args);
+        runtime_.dispatchEcallDirect(slot.callId, staged);
+        runtime_.marshaller().finishEcall(staged);
+        slot.ecall->retval = staged.retval();
+    }
+
+    stats_.responderBusyCycles += machine_.now() - start;
+}
+
+int
+HotQueue::tryServeBatch()
+{
+    auto &engine = machine_.engine();
+    auto &rng = engine.rng();
+
+    touchTail(false); // one producer-cursor read per poll
+    if (pending() == 0)
+        return 0;
+
+    // Grab every contiguous Ready slot from the head in one go (no
+    // time charged mid-grab: the acquisition is atomic). Entries
+    // still Publishing stay for a later poll — FIFO order holds.
+    const int max_batch =
+        config_.maxBatch > 0
+            ? std::min(config_.maxBatch, config_.numSlots)
+            : config_.numSlots;
+    std::vector<std::size_t> batch;
+    batch.reserve(static_cast<std::size_t>(max_batch));
+    while (static_cast<int>(batch.size()) < max_batch &&
+           head_ != tail_) {
+        Slot &slot = slots_[head_ % slots_.size()];
+        if (slot.state != SlotState::Ready)
+            break;
+        slot.state = SlotState::Serving;
+        batch.push_back(head_ % slots_.size());
+        ++head_;
+    }
+    if (batch.empty())
+        return 0;
+    touchHead(true); // cursor advance: one transfer for the batch
+    ++stats_.batches;
+    stats_.batchSize.add(batch.size());
+
+    // Serve the whole batch before re-polling: the channel-line
+    // coherence transfers above amortize over all k entries.
+    for (std::size_t idx : batch) {
+        Slot &slot = slots_[idx];
+        touchSlot(idx, false); // read call_ID and *data
+        serveRequest(slot);
+        slot.state = SlotState::Done;
+        touchSlot(idx, true); // publish completion
+        if (rng.chance(config_.hiccupChance)) {
+            engine.advance(static_cast<Cycles>(rng.nextExponential(
+                static_cast<double>(config_.hiccupMean))));
+        }
+    }
+    return static_cast<int>(batch.size());
+}
+
+bool
+HotQueue::parkResponder(bool scale_event)
+{
+    poolMutex_.lock();
+    // Re-check under the mutex: requesters enqueue before deciding
+    // whether to wake, so a pending entry (or a stop request) we
+    // would sleep through is visible here.
+    if (stopRequested_ || pending() > 0 ||
+        activeResponders() <= config_.minResponders) {
+        poolMutex_.unlock();
+        return false;
+    }
+    if (scale_event)
+        ++stats_.scaleDowns;
+    ++parked_;
+    poolCond_.wait(poolMutex_);
+    --parked_;
+    poolMutex_.unlock();
+    return true;
+}
+
+void
+HotQueue::wakeOneResponder(bool scale_event)
+{
+    if (parked_ == 0)
+        return;
+    poolMutex_.lock();
+    if (parked_ > 0) {
+        poolCond_.signal();
+        ++stats_.wakeups;
+        if (scale_event)
+            ++stats_.scaleUps;
+    }
+    poolMutex_.unlock();
+}
+
+void
+HotQueue::responderLoop(int index)
+{
+    auto &engine = machine_.engine();
+    auto &rng = engine.rng();
+    auto &platform = runtime_.platform();
+
+    // A HotEcall responder parks inside the enclave with one
+    // conventional ecall each and keeps polling from enclave mode.
+    sgx::Tcs *tcs = nullptr;
+    if (kind_ == Kind::HotEcall) {
+        platform.chargeStage(platform.params().sdkEcallSoftware,
+                             runtime_.enclave().untrustedCtxLines(),
+                             false);
+        while (!(tcs = runtime_.enclave().acquireTcs())) {
+            engine.advance(sdk::kPauseCycles);
+            engine.yield();
+        }
+        platform.eenter(runtime_.enclave(), *tcs);
+    }
+
+    // Surplus pool members start parked; requesters wake them when
+    // the backlog grows (not a scale-down event).
+    if (index >= config_.minResponders)
+        parkResponder(false);
+
+    // Sliding occupancy window driving the scale-down decision. The
+    // occupancy is measured in busy TIME, not busy polls: idle polls
+    // are far shorter than served batches, so a poll-count fraction
+    // would look idle even on a saturated ring.
+    std::uint64_t window_polls = 0;
+    Cycles window_busy = 0;
+    Cycles window_start = machine_.now();
+    while (!stopRequested_) {
+        ++stats_.responderPolls;
+        const Cycles poll_start = machine_.now();
+        const int served = tryServeBatch();
+        ++window_polls;
+        if (served > 0) {
+            window_busy += machine_.now() - poll_start;
+        } else {
+            engine.advance(sdk::kPauseCycles +
+                           rng.nextBelow(config_.pollJitter + 1));
+        }
+        if (window_polls >= config_.scaleWindowPolls) {
+            const Cycles elapsed = machine_.now() - window_start;
+            const double busy_frac =
+                elapsed > 0 ? static_cast<double>(window_busy) /
+                                  static_cast<double>(elapsed)
+                            : 0.0;
+            window_polls = 0;
+            window_busy = 0;
+            if (busy_frac < config_.scaleDownOccupancy &&
+                activeResponders() > config_.minResponders) {
+                // Occupancy stayed low for a whole window: this
+                // responder is surplus; park it until load returns.
+                parkResponder(true);
+            }
+            // Fresh window — never spanning time spent parked.
+            window_start = machine_.now();
+        }
+    }
+
+    if (kind_ == Kind::HotEcall) {
+        platform.eexit();
+        runtime_.enclave().releaseTcs(tcs);
+    }
+}
+
+} // namespace hc::hotcalls

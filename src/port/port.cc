@@ -120,12 +120,30 @@ PortedApp::PortedApp(sgx::SgxPlatform &platform, os::Kernel &kernel,
                               config_.hotOcalls.count(ocalls[i].name) >
                                   0;
             }
-            hotOcalls_ = std::make_unique<hotcalls::HotCallService>(
-                *runtime_, hotcalls::Kind::HotOcall,
-                config_.hotOcallCore);
-            hotEcalls_ = std::make_unique<hotcalls::HotCallService>(
-                *runtime_, hotcalls::Kind::HotEcall,
-                config_.hotEcallCore);
+            if (config_.useHotQueue) {
+                // All app threads share one multi-slot ring per
+                // direction; the ocall pool may scale onto the
+                // configured extra cores under load.
+                hotcalls::HotQueueConfig ocall_cfg = config_.hotQueue;
+                ocall_cfg.responderCores = {config_.hotOcallCore};
+                ocall_cfg.responderCores.insert(
+                    ocall_cfg.responderCores.end(),
+                    config_.extraHotOcallCores.begin(),
+                    config_.extraHotOcallCores.end());
+                hotOcalls_ = std::make_unique<hotcalls::HotQueue>(
+                    *runtime_, hotcalls::Kind::HotOcall, ocall_cfg);
+                hotcalls::HotQueueConfig ecall_cfg = config_.hotQueue;
+                ecall_cfg.responderCores = {config_.hotEcallCore};
+                hotEcalls_ = std::make_unique<hotcalls::HotQueue>(
+                    *runtime_, hotcalls::Kind::HotEcall, ecall_cfg);
+            } else {
+                hotOcalls_ = std::make_unique<hotcalls::HotCallService>(
+                    *runtime_, hotcalls::Kind::HotOcall,
+                    config_.hotOcallCore);
+                hotEcalls_ = std::make_unique<hotcalls::HotCallService>(
+                    *runtime_, hotcalls::Kind::HotEcall,
+                    config_.hotEcallCore);
+            }
         }
     }
     fdScratch_ = std::make_unique<mem::Buffer>(

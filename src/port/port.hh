@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "hotcalls/hotcall.hh"
+#include "hotcalls/hotqueue.hh"
 #include "mem/buffer.hh"
 #include "os/kernel.hh"
 #include "sdk/runtime.hh"
@@ -60,6 +61,18 @@ struct PortConfig {
     CoreId hotOcallCore = 2;
     CoreId hotEcallCore = 3;
     int numTcs = 8;
+    /**
+     * Use the multi-slot HotQueue (hotqueue.hh) instead of the
+     * paper's single-line HotCallService for both directions. All
+     * app threads then share one ocall ring drained by an adaptive
+     * responder pool.
+     */
+    bool useHotQueue = true;
+    /** HotQueue tunables (responderCores is filled per direction
+     *  from hotOcallCore/hotEcallCore/extraHotOcallCores). */
+    hotcalls::HotQueueConfig hotQueue;
+    /** Additional cores the ocall responder pool may scale onto. */
+    std::vector<CoreId> extraHotOcallCores;
     /**
      * Ocalls accelerated in SgxHotCalls mode; empty = all of them.
      * The paper accelerates each application's frequent calls
@@ -203,8 +216,9 @@ class PortedApp
     os::Kernel &kernel_;
     PortConfig config_;
     std::unique_ptr<sdk::EnclaveRuntime> runtime_;
-    std::unique_ptr<hotcalls::HotCallService> hotOcalls_;
-    std::unique_ptr<hotcalls::HotCallService> hotEcalls_;
+    /** The two fast-call channels (HotCallService or HotQueue). */
+    std::unique_ptr<hotcalls::Channel> hotOcalls_;
+    std::unique_ptr<hotcalls::Channel> hotEcalls_;
     std::vector<std::function<void(std::uint64_t)>> functions_;
     std::map<std::string, std::uint64_t> nativeCounts_;
     std::map<std::string, std::uint64_t> inEnclaveCounts_;

@@ -125,6 +125,73 @@ SampleSet::summary() const
 }
 
 void
+Histogram::add(std::uint64_t v)
+{
+    if (v < buckets_.size())
+        ++buckets_[v];
+    else
+        ++overflow_;
+    ++n_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    n_ = 0;
+    sum_ = 0;
+    max_ = 0;
+}
+
+std::uint64_t
+Histogram::countAt(std::uint64_t v) const
+{
+    return v < buckets_.size() ? buckets_[v] : 0;
+}
+
+double
+Histogram::mean() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(n_);
+}
+
+std::string
+Histogram::summary() const
+{
+    if (n_ == 0)
+        return "(no samples)";
+    char head[64];
+    std::snprintf(head, sizeof(head), "n=%llu mean=%.2f [",
+                  static_cast<unsigned long long>(n_), mean());
+    std::string out = head;
+    bool first = true;
+    for (std::size_t v = 0; v < buckets_.size(); ++v) {
+        if (buckets_[v] == 0)
+            continue;
+        char item[48];
+        std::snprintf(item, sizeof(item), "%s%zu:%llu",
+                      first ? "" : " ", v,
+                      static_cast<unsigned long long>(buckets_[v]));
+        out += item;
+        first = false;
+    }
+    if (overflow_ > 0) {
+        char item[48];
+        std::snprintf(item, sizeof(item), "%s>%zu:%llu",
+                      first ? "" : " ", buckets_.size() - 1,
+                      static_cast<unsigned long long>(overflow_));
+        out += item;
+    }
+    out += "]";
+    return out;
+}
+
+void
 RunningStats::add(double v)
 {
     if (n_ == 0) {

@@ -81,6 +81,52 @@ class SampleSet
     mutable bool sorted_ = true;
 };
 
+/**
+ * Fixed-bucket histogram over small non-negative integers (queue
+ * depths, batch sizes): one bucket per value in [0, maxValue], plus
+ * an overflow bucket. O(maxValue) memory, O(1) add.
+ */
+class Histogram
+{
+  public:
+    /** @param max_value  largest value with its own bucket */
+    explicit Histogram(std::size_t max_value = 64)
+        : buckets_(max_value + 1, 0)
+    {
+    }
+
+    /** Record one sample. */
+    void add(std::uint64_t v);
+
+    /** Remove all samples (bucket layout is kept). */
+    void clear();
+
+    /** @return the number of recorded samples. */
+    std::uint64_t total() const { return n_; }
+
+    /** @return the number of samples equal to @p v (0 beyond range). */
+    std::uint64_t countAt(std::uint64_t v) const;
+
+    /** @return samples that exceeded the largest tracked value. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** @return the arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** @return the largest recorded sample; 0 when empty. */
+    std::uint64_t max() const { return max_; }
+
+    /** @return a one-line "n=.. mean=.. [v:count ...]" rendering. */
+    std::string summary() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t n_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
 /** O(1)-memory mean/variance/extrema accumulator (Welford). */
 class RunningStats
 {

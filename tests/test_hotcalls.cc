@@ -283,6 +283,70 @@ TEST(HotCalls, ResponderSleepsWhenIdleAndWakes)
     });
 }
 
+TEST(HotCalls, SleepingResponderWokenOncePerBurst)
+{
+    // The sleeping_ handoff happens under sleepMutex_: within one
+    // back-to-back burst only the first call finds the responder
+    // parked, every later call sees it awake — exactly one wakeup
+    // (and one condvar signal) per burst, never one per call.
+    Fixture f;
+    HotCallConfig config;
+    config.responderSleep = true;
+    config.idlePollsBeforeSleep = 100;
+    HotCallService hot(f.runtime, Kind::HotEcall, 1, config);
+    f.run([&] {
+        hot.start();
+        f.machine.engine().sleepFor(3'000'000); // let it park
+        EXPECT_GE(hot.stats().responderSleeps, 1u);
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(
+                hot.call("ecall_add",
+                         {edl::Arg::value(
+                              static_cast<std::uint64_t>(i)),
+                          edl::Arg::value(1)}),
+                static_cast<std::uint64_t>(i) + 1);
+        }
+        EXPECT_EQ(hot.stats().wakeups, 1u);
+
+        // Idle again: it re-parks; a second burst wakes it once more.
+        f.machine.engine().sleepFor(3'000'000);
+        EXPECT_GE(hot.stats().responderSleeps, 2u);
+        for (int i = 0; i < 8; ++i)
+            hot.call("ecall_empty", {});
+        EXPECT_EQ(hot.stats().wakeups, 2u);
+        hot.stop();
+        f.machine.engine().stop();
+    });
+}
+
+TEST(HotCalls, DestructionJoinsResponder)
+{
+    // ~HotCallService must stop() and join the responder before
+    // freeing the channel line: after the scope below the line is
+    // gone, so a responder still polling it would read freed memory.
+    Fixture f;
+    f.run([&] {
+        {
+            HotCallService hot(f.runtime, Kind::HotEcall, 1);
+            hot.start();
+            EXPECT_EQ(hot.call("ecall_add", {edl::Arg::value(20),
+                                             edl::Arg::value(22)}),
+                      42u);
+            hot.stop();
+            hot.stop(); // idempotent
+        } // destructor (re-)stops and frees the channel line
+        f.machine.engine().sleepFor(100'000);
+        {
+            // No explicit stop at all: the destructor joins.
+            HotCallService hot(f.runtime, Kind::HotOcall, 2);
+            hot.start();
+            f.machine.engine().sleepFor(10'000);
+        }
+        f.machine.engine().sleepFor(100'000);
+        f.machine.engine().stop();
+    });
+}
+
 TEST(HotCalls, IdleResponderBurnsFewCyclesPerPoll)
 {
     Fixture f;

@@ -179,6 +179,38 @@ TEST(RunningStats, MatchesDirectComputation)
     EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
 }
 
+TEST(Histogram, CountsBucketsAndOverflow)
+{
+    Histogram h(4);
+    for (std::uint64_t v : {0u, 1u, 1u, 3u, 4u, 9u, 12u})
+        h.add(v);
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.countAt(0), 1u);
+    EXPECT_EQ(h.countAt(1), 2u);
+    EXPECT_EQ(h.countAt(2), 0u);
+    EXPECT_EQ(h.countAt(3), 1u);
+    EXPECT_EQ(h.countAt(4), 1u);
+    EXPECT_EQ(h.countAt(9), 0u); // beyond the tracked range
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.max(), 12u);
+    EXPECT_NEAR(h.mean(), 30.0 / 7.0, 1e-12);
+}
+
+TEST(Histogram, ClearAndSummary)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.summary(), "(no samples)");
+    h.add(2);
+    h.add(2);
+    h.add(7);
+    EXPECT_NE(h.summary().find("2:2"), std::string::npos);
+    EXPECT_NE(h.summary().find(">4:1"), std::string::npos);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.summary(), "(no samples)");
+}
+
 // ----------------------------------------------------------------------
 // Hashing.
 // ----------------------------------------------------------------------
