@@ -30,18 +30,35 @@ HotCallService::HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
     // coherence transfer moves it between requester and responder.
     channelLine_ =
         machine_.space().allocUntrusted(kCacheLineSize, kCacheLineSize);
+    if (auto *ck = machine_.check()) {
+        // The channel line is the protocol's atomic: its accesses
+        // order, not race. The shadow machine validates transitions.
+        ck->registerSyncWord(channelLine_);
+        protocol_ = std::make_unique<check::HotCallProtocol>(
+            *ck, kind_ == Kind::HotEcall ? "hot-ecall" : "hot-ocall");
+    }
 }
 
 HotCallService::~HotCallService()
 {
     // stop() joins the responder; without it a still-polling
     // responder would touch the channel line after the free below.
-    // A responder that could not be joined (e.g. blocked inside a
-    // kernel ocall that never returns) may still hold the line, so
-    // it is deliberately leaked in that case.
     stop();
-    if (!responder_ || responder_->state() == sim::ThreadState::Done)
+    // Once Engine::run() has returned no fiber can ever execute
+    // again, so even a stranded (not Done) responder cannot touch the
+    // line anymore: free it. Inside a still-running simulation a
+    // responder that could not be joined (e.g. blocked inside a
+    // kernel ocall that never returns) may still hold the line, so it
+    // is deliberately leaked in that case.
+    const bool outside_sim = machine_.engine().currentThread() == nullptr;
+    if (outside_sim || !responder_ ||
+        responder_->state() == sim::ThreadState::Done) {
         machine_.space().free(channelLine_);
+    } else if (auto *ck = machine_.check()) {
+        ck->registerDeliberateLeak(
+            channelLine_,
+            "hotcall channel line held by an unjoinable responder");
+    }
 }
 
 void
@@ -63,6 +80,10 @@ HotCallService::joinResponder()
          !engine->stopRequested() && waited < kJoinGrace;
          waited += kJoinStep) {
         engine->advance(kJoinStep);
+    }
+    if (responder_->state() == sim::ThreadState::Done) {
+        if (auto *ck = machine_.check())
+            ck->joinEdge(responder_);
     }
 }
 
@@ -89,8 +110,12 @@ HotCallService::stop()
         return;
     stopRequested_ = true;
     auto *engine = sim::Engine::current();
-    if (!engine || !engine->currentThread())
-        return; // outside the simulation nothing can still run
+    if (!engine || !engine->currentThread()) {
+        // Outside the simulation nothing can still run; there is no
+        // join to wait for, so stop is complete.
+        stopped_ = true;
+        return;
+    }
     // The sleeping_ flag is handed over under sleepMutex_: the
     // responder only commits to wait() while holding the mutex, so
     // checking the flag inside it cannot race with a responder that
@@ -135,11 +160,15 @@ HotCallService::call(int id, const edl::Args &args)
             continue;
         }
         lockWord_ = true;
+        if (protocol_)
+            protocol_->onLock();
 
         // Is the responder free?
         touchChannel(false);
         if (go_) {
             lockWord_ = false;
+            if (protocol_)
+                protocol_->onUnlock();
             touchChannel(true);
             engine.advance(sdk::kPauseCycles +
                            rng.nextBelow(config_.pollJitter + 1));
@@ -164,6 +193,8 @@ HotCallService::call(int id, const edl::Args &args)
         callId_ = id;
         touchChannel(true); // publish *data and call_ID
         go_ = true;
+        if (protocol_)
+            protocol_->onPublish();
         touchChannel(true); // mark the responder busy ("go")
 
         if (sleeping_) {
@@ -182,15 +213,25 @@ HotCallService::call(int id, const edl::Args &args)
         }
 
         lockWord_ = false;
+        if (protocol_)
+            protocol_->onUnlock();
         touchChannel(true); // release the lock
         engine.advance(sdk::kPauseCycles); // PAUSE after release
 
         // Wait for completion: the responder clears the busy flag
-        // once it has executed the call and filled the response.
+        // once it has executed the call and filled the response. Once
+        // the engine is unwinding the responder will never clear it,
+        // and when this requester is the only runnable fiber left the
+        // spin would keep the host alive forever — bail out instead,
+        // like the bounded join loops in stop().
         for (;;) {
             touchChannel(false);
             if (!go_)
                 break;
+            if (engine.stopRequested()) {
+                ++stats_.aborts;
+                return 0;
+            }
             engine.advance(sdk::kPauseCycles +
                            rng.nextBelow(config_.pollJitter + 1));
         }
@@ -274,14 +315,22 @@ HotCallService::responderLoop()
         touchChannel(true);
         if (!lockWord_) {
             lockWord_ = true;
+            if (protocol_)
+                protocol_->onLock();
             touchChannel(false); // check the busy/"go" flag
             if (go_) {
                 idle_polls = 0;
                 touchChannel(false); // read call_ID and *data
+                if (protocol_)
+                    protocol_->onServe();
                 lockWord_ = false;
+                if (protocol_)
+                    protocol_->onUnlock();
                 touchChannel(true); // release before executing
                 serveRequest();
                 go_ = false;
+                if (protocol_)
+                    protocol_->onComplete();
                 touchChannel(true); // flag completion (busy cleared)
                 if (rng.chance(config_.hiccupChance)) {
                     engine.advance(static_cast<Cycles>(
@@ -291,6 +340,8 @@ HotCallService::responderLoop()
             } else {
                 ++idle_polls;
                 lockWord_ = false;
+                if (protocol_)
+                    protocol_->onUnlock();
                 touchChannel(true);
             }
         }

@@ -30,8 +30,10 @@
 #define HC_HOTCALLS_HOTCALL_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "check/check.hh"
 #include "sdk/runtime.hh"
 #include "sdk/spinlock.hh"
 #include "sdk/thread_sync.hh"
@@ -94,6 +96,7 @@ struct HotCallConfig {
 struct HotCallStats {
     std::uint64_t calls = 0;        //!< completed via the channel
     std::uint64_t fallbacks = 0;    //!< timed out -> SDK path
+    std::uint64_t aborts = 0;       //!< completion wait cut short by stop
     std::uint64_t responderPolls = 0;
     std::uint64_t responderSleeps = 0;
     std::uint64_t wakeups = 0;
@@ -199,6 +202,9 @@ class HotCallService : public Channel
     bool stopRequested_ = false;
     bool stopped_ = false; //!< stop() completed (join done)
     HotCallStats stats_;
+
+    /** Shadow state machine when the Machine's checker is on. */
+    std::unique_ptr<check::HotCallProtocol> protocol_;
 };
 
 } // namespace hc::hotcalls

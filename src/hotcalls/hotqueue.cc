@@ -53,24 +53,47 @@ HotQueue::HotQueue(sdk::EnclaveRuntime &runtime, Kind kind,
         machine_.space().allocUntrusted(kCacheLineSize, kCacheLineSize);
     tailLine_ =
         machine_.space().allocUntrusted(kCacheLineSize, kCacheLineSize);
+    if (auto *ck = machine_.check()) {
+        // The slot and cursor lines are the protocol's atomics: their
+        // accesses order, not race. The shadow validates the slot
+        // lifecycle and the cursor invariant.
+        for (auto &slot : slots_)
+            ck->registerSyncWord(slot.line);
+        ck->registerSyncWord(headLine_);
+        ck->registerSyncWord(tailLine_);
+        protocol_ = std::make_unique<check::HotQueueProtocol>(
+            *ck, kind_ == Kind::HotEcall ? "hotq-ecall" : "hotq-ocall",
+            config_.numSlots);
+    }
 }
 
 HotQueue::~HotQueue()
 {
     // stop() joins the pool; without it a still-polling responder
-    // would touch the ring lines after the frees below. If a
-    // responder could not be joined (e.g. it is blocked inside an
-    // ocall handler that never returns), the lines are deliberately
-    // leaked instead of pulled out from under it.
+    // would touch the ring lines after the frees below.
     stop();
-    for (sim::Thread *responder : responders_) {
-        if (responder->state() != sim::ThreadState::Done)
-            return;
+    // Once Engine::run() has returned no fiber can ever execute
+    // again, so even stranded (not Done) responders cannot touch the
+    // ring anymore: free it. Inside a still-running simulation a
+    // responder that could not be joined (e.g. blocked inside an
+    // ocall handler that never returns) may still hold the lines, so
+    // they are deliberately leaked instead of pulled out from under
+    // it.
+    bool all_done = true;
+    for (sim::Thread *responder : responders_)
+        all_done &= responder->state() == sim::ThreadState::Done;
+    if (all_done || machine_.engine().currentThread() == nullptr) {
+        for (auto &slot : slots_)
+            machine_.space().free(slot.line);
+        machine_.space().free(headLine_);
+        machine_.space().free(tailLine_);
+    } else if (auto *ck = machine_.check()) {
+        const char *why = "hotqueue line held by an unjoinable responder";
+        for (auto &slot : slots_)
+            ck->registerDeliberateLeak(slot.line, why);
+        ck->registerDeliberateLeak(headLine_, why);
+        ck->registerDeliberateLeak(tailLine_, why);
     }
-    for (auto &slot : slots_)
-        machine_.space().free(slot.line);
-    machine_.space().free(headLine_);
-    machine_.space().free(tailLine_);
 }
 
 void
@@ -121,8 +144,12 @@ HotQueue::stop()
         return;
     stopRequested_ = true;
     auto *engine = sim::Engine::current();
-    if (!engine || !engine->currentThread())
-        return; // outside the simulation nothing can still run
+    if (!engine || !engine->currentThread()) {
+        // Outside the simulation nothing can still run; there is no
+        // join to wait for, so stop is complete.
+        stopped_ = true;
+        return;
+    }
     // Wake every parked responder so it can observe the stop request;
     // the handoff happens under poolMutex_ (a responder only commits
     // to wait() while holding it).
@@ -141,6 +168,10 @@ HotQueue::stop()
              !engine->stopRequested() && waited < kJoinGrace;
              waited += kJoinStep) {
             engine->advance(kJoinStep);
+        }
+        if (responder->state() == sim::ThreadState::Done) {
+            if (auto *ck = machine_.check())
+                ck->joinEdge(responder);
         }
     }
     stopped_ = true;
@@ -189,6 +220,10 @@ HotQueue::call(int id, const edl::Args &args)
         }
         slot.state = SlotState::Publishing;
         tail_ = ticket + 1;
+        if (protocol_) {
+            protocol_->onClaim(static_cast<int>(idx));
+            protocol_->onCursors(head_, tail_);
+        }
         stats_.depth.add(pending());
         touchTail(true); // publish the cursor
 
@@ -208,6 +243,8 @@ HotQueue::call(int id, const edl::Args &args)
         }
         slot.callId = id;
         slot.state = SlotState::Ready;
+        if (protocol_)
+            protocol_->onPublish(static_cast<int>(idx));
         touchSlot(idx, true); // publish *data, call_ID, ready flag
 
         // More backlog than the active responders drain promptly:
@@ -216,11 +253,19 @@ HotQueue::call(int id, const edl::Args &args)
             wakeOneResponder(true);
 
         // Wait for completion: a responder marks the slot done once
-        // it has executed the call and filled the response.
+        // it has executed the call and filled the response. Once the
+        // engine is unwinding no responder will ever mark it, and
+        // when this requester is the only runnable fiber left the
+        // spin would keep the host alive forever — bail out instead,
+        // like the bounded join loops in stop().
         for (;;) {
             touchSlot(idx, false);
             if (slot.state == SlotState::Done)
                 break;
+            if (engine.stopRequested()) {
+                ++stats_.aborts;
+                return 0;
+            }
             engine.advance(sdk::kPauseCycles +
                            rng.nextBelow(config_.pollJitter + 1));
         }
@@ -229,6 +274,8 @@ HotQueue::call(int id, const edl::Args &args)
         slot.ocall = nullptr;
         slot.ecall = nullptr;
         slot.state = SlotState::Free;
+        if (protocol_)
+            protocol_->onHarvest(static_cast<int>(idx));
         touchSlot(idx, true);
         ++stats_.calls;
 
@@ -303,9 +350,13 @@ HotQueue::tryServeBatch()
         slot.state = SlotState::Serving;
         batch.push_back(head_ % slots_.size());
         ++head_;
+        if (protocol_)
+            protocol_->onGrab(static_cast<int>(batch.back()));
     }
     if (batch.empty())
         return 0;
+    if (protocol_)
+        protocol_->onCursors(head_, tail_);
     touchHead(true); // cursor advance: one transfer for the batch
     ++stats_.batches;
     stats_.batchSize.add(batch.size());
@@ -317,6 +368,8 @@ HotQueue::tryServeBatch()
         touchSlot(idx, false); // read call_ID and *data
         serveRequest(slot);
         slot.state = SlotState::Done;
+        if (protocol_)
+            protocol_->onComplete(static_cast<int>(idx));
         touchSlot(idx, true); // publish completion
         if (rng.chance(config_.hiccupChance)) {
             engine.advance(static_cast<Cycles>(rng.nextExponential(

@@ -36,6 +36,7 @@
 #define HC_HOTCALLS_HOTQUEUE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,7 @@ struct HotQueueConfig {
 struct HotQueueStats {
     std::uint64_t calls = 0;     //!< completed via the ring
     std::uint64_t fallbacks = 0; //!< timed out -> SDK path
+    std::uint64_t aborts = 0;    //!< completion wait cut short by stop
     std::uint64_t responderPolls = 0;
     std::uint64_t batches = 0; //!< channel acquisitions that served
     std::uint64_t wakeups = 0; //!< parked-responder signals
@@ -212,6 +214,9 @@ class HotQueue : public Channel
     bool stopRequested_ = false;
     bool stopped_ = false;
     HotQueueStats stats_;
+
+    /** Shadow state machine when the Machine's checker is on. */
+    std::unique_ptr<check::HotQueueProtocol> protocol_;
 };
 
 } // namespace hc::hotcalls

@@ -66,7 +66,7 @@ RegionAllocator::alloc(std::uint64_t size, std::uint64_t align)
     return addr;
 }
 
-void
+std::uint64_t
 RegionAllocator::free(Addr addr)
 {
     auto it = liveSizes_.find(addr);
@@ -75,6 +75,7 @@ RegionAllocator::free(Addr addr)
     liveSizes_.erase(it);
     inUse_ -= cls;
     freeLists_[cls].push_back(addr);
+    return cls;
 }
 
 AddressSpace::AddressSpace(std::uint64_t untrusted_size,
@@ -99,13 +100,16 @@ AddressSpace::allocEpc(std::uint64_t size, std::uint64_t align)
 void
 AddressSpace::free(Addr addr)
 {
+    std::uint64_t released = 0;
     if (untrusted_.contains(addr))
-        untrusted_.free(addr);
+        released = untrusted_.free(addr);
     else if (epc_.contains(addr))
-        epc_.free(addr);
+        released = epc_.free(addr);
     else
         panic("free of unmapped address 0x%llx",
               static_cast<unsigned long long>(addr));
+    if (freeHook_)
+        freeHook_(addr, released);
 }
 
 Domain

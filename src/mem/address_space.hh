@@ -13,6 +13,7 @@
 #define HC_MEM_ADDRESS_SPACE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -48,8 +49,11 @@ class RegionAllocator
      */
     Addr alloc(std::uint64_t size, std::uint64_t align = 16);
 
-    /** Release an allocation previously returned by alloc(). */
-    void free(Addr addr);
+    /**
+     * Release an allocation previously returned by alloc().
+     * @return the rounded (size-class) byte count released
+     */
+    std::uint64_t free(Addr addr);
 
     /** @return true when @p addr falls inside this region. */
     bool contains(Addr addr) const
@@ -59,6 +63,13 @@ class RegionAllocator
 
     /** @return bytes currently allocated. */
     std::uint64_t bytesInUse() const { return inUse_; }
+
+    /** @return every live allocation (addr -> size-class bytes); the
+     *  leak audit (src/check) enumerates this at Machine teardown. */
+    const std::unordered_map<Addr, std::uint64_t> &live() const
+    {
+        return liveSizes_;
+    }
 
     Addr base() const { return base_; }
     std::uint64_t size() const { return size_; }
@@ -106,12 +117,20 @@ class AddressSpace
     /** @return true when the whole range stays in one domain. */
     bool rangeInDomain(Addr addr, std::uint64_t len, Domain d) const;
 
+    /** Hook invoked after every free() with the released range (the
+     *  checker layer drops its per-word metadata there). */
+    using FreeHook = std::function<void(Addr addr, std::uint64_t size)>;
+
+    /** Install the free hook (null to detach). */
+    void setFreeHook(FreeHook hook) { freeHook_ = std::move(hook); }
+
     const RegionAllocator &untrusted() const { return untrusted_; }
     const RegionAllocator &epc() const { return epc_; }
 
   private:
     RegionAllocator untrusted_;
     RegionAllocator epc_;
+    FreeHook freeHook_;
 };
 
 } // namespace hc::mem

@@ -5,13 +5,88 @@
 
 #include "mem/machine.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hh"
+
 namespace hc::mem {
+
+namespace {
+
+/** @return true when the HC_CHECK environment variable asks for the
+ *  checker (set, non-empty and not "0"). */
+bool
+envWantsCheck()
+{
+    const char *env = std::getenv("HC_CHECK");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+} // anonymous namespace
 
 Machine::Machine(MachineConfig config)
     : config_(config), engine_(config.engine),
       space_(config.untrustedMemory, config.mem.epcVirtualSize),
       memory_(engine_, space_, config.mem, config.engine.seed ^ 0x5367)
 {
+    check::CheckConfig cc = config_.check;
+    if (!cc.enabled && envWantsCheck()) {
+        // Environment-driven runs (HC_CHECK=1 ctest ...) fail loudly;
+        // explicit configuration (seeded-violation tests) wins and
+        // keeps its record-only default.
+        cc.enabled = true;
+        cc.panicOnViolation = true;
+    }
+    if (cc.enabled) {
+        check_ = std::make_unique<check::SimCheck>(engine_, cc);
+        engine_.setObserver(check_.get());
+        memory_.setCheck(check_.get());
+        space_.setFreeHook([this](Addr addr, std::uint64_t size) {
+            check_->onFree(addr, size);
+        });
+    }
+}
+
+Machine::~Machine()
+{
+    // Collapse fibers stranded by an aborted run while the address
+    // space is still alive: their stack-held RAII allocations free
+    // themselves, so the audit below sees the true leak set.
+    engine_.unwindStranded();
+    auditLeaksNow();
+    // Detach before members are torn down (check_ dies before the
+    // engine field would otherwise keep calling it).
+    engine_.setObserver(nullptr);
+    memory_.setCheck(nullptr);
+    space_.setFreeHook(nullptr);
+}
+
+void
+Machine::auditLeaksNow()
+{
+    if (!check_)
+        return;
+    if (engine_.stopRequested() && engine_.liveThreads() > 0) {
+        // stop() strands still-live fibers mid-execution; their
+        // stack-held allocations (staging buffers, sockets) can never
+        // be released, so the audit would flag unavoidable noise.
+        trace("leak audit skipped: run aborted with %llu live threads",
+              static_cast<unsigned long long>(engine_.liveThreads()));
+        return;
+    }
+    std::vector<check::SimCheck::LeakItem> live;
+    for (const auto &[addr, bytes] : space_.untrusted().live())
+        live.push_back({addr, bytes, "untrusted"});
+    for (const auto &[addr, bytes] : space_.epc().live())
+        live.push_back({addr, bytes, "epc"});
+    // Deterministic report order regardless of hash-map iteration.
+    std::sort(live.begin(), live.end(),
+              [](const auto &a, const auto &b) {
+                  return a.addr < b.addr;
+              });
+    check_->auditLeaks(live);
 }
 
 } // namespace hc::mem

@@ -12,7 +12,9 @@
 #define HC_MEM_MACHINE_HH
 
 #include <cstdint>
+#include <memory>
 
+#include "check/check.hh"
 #include "mem/address_space.hh"
 #include "mem/cost_params.hh"
 #include "mem/memory.hh"
@@ -25,6 +27,10 @@ struct MachineConfig {
     sim::Engine::Config engine;
     CostParams mem;
     std::uint64_t untrustedMemory = 4096_MiB;
+    /** SimCheck correctness layer (src/check). Off by default; the
+     *  HC_CHECK environment variable enables it (with
+     *  panic-on-violation) unless the config enables it explicitly. */
+    check::CheckConfig check;
 };
 
 /** The simulated platform: cores + address space + memory system. */
@@ -32,6 +38,7 @@ class Machine
 {
   public:
     explicit Machine(MachineConfig config = {});
+    ~Machine();
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -41,6 +48,13 @@ class Machine
     MemoryModel &memory() { return memory_; }
     const CostParams &memParams() const { return config_.mem; }
     const MachineConfig &config() const { return config_; }
+
+    /** @return the SimCheck layer, or null when checking is off. */
+    check::SimCheck *check() { return check_.get(); }
+
+    /** Run the unfreed-allocation audit now (it also runs once at
+     *  destruction). No-op when checking is off. */
+    void auditLeaksNow();
 
     /** @return the calling fiber's core (0 outside the simulation). */
     CoreId currentCore() const { return memory_.currentCore(); }
@@ -53,6 +67,7 @@ class Machine
     sim::Engine engine_;
     AddressSpace space_;
     MemoryModel memory_;
+    std::unique_ptr<check::SimCheck> check_;
 };
 
 } // namespace hc::mem

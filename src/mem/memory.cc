@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "check/check.hh"
 #include "support/logging.hh"
 
 namespace hc::mem {
@@ -177,6 +178,8 @@ MemoryModel::writeBuffer(Addr addr, std::uint64_t len, bool flush_after,
 Cycles
 MemoryModel::accessWord(Addr addr, bool write, bool charge_time)
 {
+    if (check_)
+        check_->onWordAccess(addr, write);
     const bool epc = space_.isEpc(addr);
     const CoreId core = currentCore();
     double cost = static_cast<double>(touchPages(addr, 8, write));

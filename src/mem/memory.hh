@@ -24,6 +24,10 @@
 #include "sim/engine.hh"
 #include "support/units.hh"
 
+namespace hc::check {
+class SimCheck;
+}
+
 namespace hc::mem {
 
 /**
@@ -98,6 +102,10 @@ class MemoryModel
     /** Install the integrity-failure handler (default: panic). */
     void setIntegrityFailureHook(IntegrityFailureHook hook);
 
+    /** Attach the SimCheck race detector (null to detach); every
+     *  accessWord() is then reported to it. Wired by mem::Machine. */
+    void setCheck(check::SimCheck *check) { check_ = check; }
+
     // ------------------------------------------------------------------
     // Access to sub-models.
     // ------------------------------------------------------------------
@@ -131,6 +139,7 @@ class MemoryModel
     Mee mee_;
     PageTouchHook pageTouch_;
     IntegrityFailureHook integrityFailure_;
+    check::SimCheck *check_ = nullptr;
 };
 
 } // namespace hc::mem

@@ -38,6 +38,10 @@ class SharedVar
         addr_ = (domain == Domain::Epc)
                     ? machine.space().allocEpc(sizeof(T), 64)
                     : machine.space().allocUntrusted(sizeof(T), 64);
+        // Cross-thread polling on a SharedVar is the simulated
+        // equivalent of an atomic: its accesses order, not race.
+        if (auto *ck = machine.check())
+            ck->registerSyncWord(addr_);
     }
 
     ~SharedVar() { machine_.space().free(addr_); }

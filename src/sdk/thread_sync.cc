@@ -29,6 +29,10 @@ SgxThreadMutex::lock()
     while (locked_)
         engine.wait(waiters_);
     locked_ = true;
+    // The uncontended fast path never parks, so the engine's wakeup
+    // edge does not cover it; hand the checker the lock edge directly.
+    if (auto *ck = machine_.check())
+        ck->acquireEdge(this);
 }
 
 void
@@ -37,6 +41,8 @@ SgxThreadMutex::unlock()
     hc_assert(locked_);
     auto &engine = machine_.engine();
     engine.advance(kFastPathCycles);
+    if (auto *ck = machine_.check())
+        ck->releaseEdge(this);
     locked_ = false;
     engine.notifyOne(waiters_);
 }
@@ -48,6 +54,8 @@ SgxThreadMutex::releaseForWait()
     // used by the condition variable so that release + park is
     // atomic with respect to the scheduler.
     hc_assert(locked_);
+    if (auto *ck = machine_.check())
+        ck->releaseEdge(this);
     locked_ = false;
     machine_.engine().notifyOne(waiters_);
 }

@@ -161,8 +161,14 @@ SgxPlatform::touchLines(const std::vector<Addr> &lines, bool write)
     Cycles total = 0;
     Cycles miss_portion = 0;
     auto &memory = machine_.memory();
+    auto *check = machine_.check();
     const Cycles miss_floor = machine_.memParams().cacheToCache;
     for (Addr line : lines) {
+        // SECS/TCS/SSA lines are written by whichever core executes
+        // the SGX instruction; the hardware serializes them, so they
+        // are exempt from the data-race detector.
+        if (check)
+            check->markExempt(line);
         const Cycles c = memory.accessWord(line, write,
                                            /*charge_time=*/false);
         total += c;

@@ -24,7 +24,18 @@ Thread::Thread(Engine &engine, std::string name, CoreId core,
                std::function<void()> body, std::uint64_t id)
     : engine_(engine), name_(std::move(name)), core_(core), id_(id)
 {
-    fiber_ = std::make_unique<Fiber>(std::move(body));
+    fiber_ = std::make_unique<Fiber>([this, body = std::move(body)] {
+        // First dispatched during teardown: nothing ran, nothing to
+        // unwind.
+        if (engine_.unwinding())
+            return;
+        try {
+            body();
+        } catch (const ForcedUnwind &) {
+            // Teardown collapsed this stack; locals are destroyed and
+            // the fiber finishes normally.
+        }
+    });
 }
 
 Engine::Engine(Config config) : config_(config), rng_(config.seed)
@@ -39,7 +50,43 @@ Engine::Engine(Config config) : config_(config), rng_(config.seed)
     }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine()
+{
+    // Backstop for engines used without a Machine; Machine unwinds
+    // earlier, while resources the fibers reference are still alive.
+    unwindStranded();
+}
+
+void
+Engine::unwindStranded()
+{
+    if (liveThreads_ == 0)
+        return;
+    hc_assert(!inRun_);
+    unwinding_ = true;
+    Engine *prev_engine = g_current_engine;
+    g_current_engine = this;
+    for (auto &thread : threads_) {
+        Thread *t = thread.get();
+        if (t->state_ == ThreadState::Done || t->fiber_->finished())
+            continue;
+        // Forget the wait queue WITHOUT touching it: queues owned by
+        // objects declared after the machine are already destroyed by
+        // the time teardown unwinds the threads parked on them.
+        t->waitingOn_ = nullptr;
+        t->hasTimeout_ = false;
+        running_ = t;
+        t->fiber_->switchTo();
+        running_ = nullptr;
+        hc_assert(t->fiber_->finished());
+        t->state_ = ThreadState::Done;
+        --liveThreads_;
+        if (observer_)
+            observer_->onThreadExit(t);
+    }
+    g_current_engine = prev_engine;
+    unwinding_ = false;
+}
 
 Engine *
 Engine::current()
@@ -56,6 +103,8 @@ Engine::spawn(std::string name, CoreId core, std::function<void()> body)
     Thread *raw = thread.get();
     threads_.push_back(std::move(thread));
     ++liveThreads_;
+    if (observer_)
+        observer_->onSpawn(running_, raw);
     makeReady(raw, running_ ? now() : 0);
     return raw;
 }
@@ -191,6 +240,8 @@ Engine::run()
                 best_thread->state_ = ThreadState::Done;
             }
             --liveThreads_;
+            if (observer_)
+                observer_->onThreadExit(best_thread);
         }
     }
 
@@ -219,7 +270,10 @@ Engine::switchOut()
     Thread *self = running_;
     hc_assert(self);
     self->fiber_->switchBack();
-    // Resumed: we are running again (scheduler restored bookkeeping).
+    // Resumed: we are running again (scheduler restored bookkeeping) —
+    // unless teardown resumed us solely to collapse this stack.
+    if (unwinding_)
+        throw ForcedUnwind{};
 }
 
 void
@@ -248,6 +302,10 @@ Engine::maybeInterrupt()
 void
 Engine::advance(Cycles cycles)
 {
+    // Destructors running during a forced unwind must not suspend:
+    // a second ForcedUnwind mid-unwind would std::terminate.
+    if (unwinding_)
+        return;
     Thread *self = running_;
     hc_assert(self);
     Core &core = cores_[static_cast<std::size_t>(self->core_)];
@@ -267,6 +325,8 @@ Engine::advance(Cycles cycles)
 void
 Engine::yield()
 {
+    if (unwinding_)
+        return;
     Thread *self = running_;
     hc_assert(self);
     Core &core = cores_[static_cast<std::size_t>(self->core_)];
@@ -281,6 +341,8 @@ Engine::yield()
 void
 Engine::sleepUntil(Cycles when)
 {
+    if (unwinding_)
+        return;
     Thread *self = running_;
     hc_assert(self);
     Core &core = cores_[static_cast<std::size_t>(self->core_)];
@@ -293,6 +355,8 @@ Engine::sleepUntil(Cycles when)
 void
 Engine::wait(WaitQueue &queue)
 {
+    if (unwinding_)
+        return;
     Thread *self = running_;
     hc_assert(self);
     self->state_ = ThreadState::Blocked;
@@ -306,6 +370,8 @@ Engine::wait(WaitQueue &queue)
 bool
 Engine::waitUntil(WaitQueue &queue, Cycles deadline)
 {
+    if (unwinding_)
+        return false; // report as a timeout
     Thread *self = running_;
     hc_assert(self);
     self->state_ = ThreadState::Blocked;
@@ -328,6 +394,8 @@ Engine::notifyOne(WaitQueue &queue)
     woken->waitingOn_ = nullptr;
     woken->hasTimeout_ = false;
     woken->timedOut_ = false;
+    if (observer_)
+        observer_->onWake(running_, woken);
     makeReady(woken, now());
 }
 

@@ -110,8 +110,40 @@ class WaitQueue
     std::deque<Thread *> waiters_;
 };
 
+/**
+ * Thrown into a stranded fiber by Engine::unwindStranded() so its
+ * stack unwinds and locals (staging buffers, vectors, ...) are
+ * destroyed instead of leaking. Caught by the thread trampoline;
+ * simulated code must never catch it (and never catches (...)).
+ */
+struct ForcedUnwind
+{
+};
+
 /** Hook invoked when a core takes an interrupt; returns cycles spent. */
 using InterruptHandler = std::function<Cycles(CoreId core, Cycles now)>;
+
+/**
+ * Scheduler event sink (Engine::setObserver). The checker layer
+ * (src/check) derives happens-before edges from these events; the
+ * engine itself attaches no semantics to them.
+ */
+class EngineObserver
+{
+  public:
+    virtual ~EngineObserver() = default;
+
+    /** @p child was spawned; @p parent is null for host-side spawns. */
+    virtual void onSpawn(Thread *parent, Thread *child) = 0;
+
+    /** @p woken leaves a WaitQueue because @p waker notified it;
+     *  @p waker is null when the notify came from outside the
+     *  simulation. Timeout expiries emit no event (no ordering). */
+    virtual void onWake(Thread *waker, Thread *woken) = 0;
+
+    /** @p thread's body returned. */
+    virtual void onThreadExit(Thread *thread) = 0;
+};
 
 /** The discrete-event engine. */
 class Engine
@@ -156,6 +188,23 @@ class Engine
 
     /** @return true once stop() has been called. */
     bool stopRequested() const { return stopRequested_; }
+
+    /** @return threads spawned but not yet finished. After run()
+     *  returned, non-zero means fibers were stranded by stop(). */
+    std::uint64_t liveThreads() const { return liveThreads_; }
+
+    /**
+     * Collapse every stranded fiber by resuming it once with
+     * ForcedUnwind pending, destroying all locals on its stack.
+     * Teardown-only: the engine must not be run() again afterwards.
+     * Owners whose resources outlive the engine (Machine) call this
+     * before tearing those resources down; the destructor also calls
+     * it as a backstop. No-op when no threads are live.
+     */
+    void unwindStranded();
+
+    /** @return true while unwindStranded() is collapsing fibers. */
+    bool unwinding() const { return unwinding_; }
 
     // ------------------------------------------------------------------
     // Calls valid only from inside a simulated thread.
@@ -214,6 +263,10 @@ class Engine
     /** @return total interrupts delivered so far. */
     std::uint64_t interruptCount() const { return interruptCount_; }
 
+    /** Install the scheduler event sink (null to detach). The
+     *  observer must outlive the engine or be detached first. */
+    void setObserver(EngineObserver *observer) { observer_ = observer; }
+
     /** @return the engine master RNG (for seeding components). */
     Rng &rng() { return rng_; }
 
@@ -253,8 +306,10 @@ class Engine
     std::uint64_t liveThreads_ = 0;
     bool stopRequested_ = false;
     bool inRun_ = false;
+    bool unwinding_ = false;
     std::uint64_t interruptCount_ = 0;
     InterruptHandler interruptHandler_;
+    EngineObserver *observer_ = nullptr;
 
     /** Earliest event time outside the currently running thread. */
     Cycles nextEventTime_ = std::numeric_limits<Cycles>::max();

@@ -8,6 +8,21 @@
 
 #include "support/logging.hh"
 
+// ASan tracks which stack the program runs on; swapcontext switches
+// stacks behind its back, so every switch is announced with the
+// fiber-switch hooks (otherwise deep frames on the heap-allocated
+// fiber stacks are flagged as stack-buffer-overflows).
+#if defined(__SANITIZE_ADDRESS__)
+#define HC_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HC_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef HC_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace hc::sim {
 
 Fiber::Fiber(Body body, std::size_t stack_size)
@@ -40,8 +55,19 @@ Fiber::trampoline(unsigned int hi, unsigned int lo)
 void
 Fiber::run()
 {
+#ifdef HC_ASAN_FIBERS
+    // First entry: complete the switch the resumer started and learn
+    // the host stack so switches back can announce their destination.
+    __sanitizer_finish_switch_fiber(nullptr, &asanHostBottom_,
+                                    &asanHostSize_);
+#endif
     body_();
     finished_ = true;
+#ifdef HC_ASAN_FIBERS
+    // Null save slot: the fiber is exiting, drop its fake stack.
+    __sanitizer_start_switch_fiber(nullptr, asanHostBottom_,
+                                   asanHostSize_);
+#endif
     // Returning lets ucontext jump to uc_link (= returnContext_),
     // resuming whoever switched us in last.
 }
@@ -50,16 +76,31 @@ void
 Fiber::switchTo()
 {
     hc_assert(started_ && !finished_);
+#ifdef HC_ASAN_FIBERS
+    void *fake = nullptr;
+    __sanitizer_start_switch_fiber(&fake, stack_.data(), stack_.size());
+#endif
     if (swapcontext(&returnContext_, &context_) != 0)
         panic("swapcontext into fiber failed");
+#ifdef HC_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
 }
 
 void
 Fiber::switchBack()
 {
     hc_assert(!finished_);
+#ifdef HC_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&asanFiberFake_, asanHostBottom_,
+                                   asanHostSize_);
+#endif
     if (swapcontext(&context_, &returnContext_) != 0)
         panic("swapcontext out of fiber failed");
+#ifdef HC_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(asanFiberFake_, &asanHostBottom_,
+                                    &asanHostSize_);
+#endif
 }
 
 } // namespace hc::sim

@@ -68,6 +68,14 @@ class Fiber
     ucontext_t returnContext_;
     bool started_ = false;
     bool finished_ = false;
+
+    // AddressSanitizer bookkeeping: ASan must be told about every
+    // stack switch (__sanitizer_start/finish_switch_fiber), or frames
+    // on the heap-allocated fiber stacks are reported as
+    // stack-buffer-overflows. Unused in non-ASan builds.
+    void *asanFiberFake_ = nullptr;
+    const void *asanHostBottom_ = nullptr;
+    std::size_t asanHostSize_ = 0;
 };
 
 } // namespace hc::sim

@@ -36,7 +36,8 @@ MemtierClient::start(CoreId first_core)
 
 void
 MemtierClient::sendNext(Connection &conn, Rng &rng,
-                        std::vector<std::uint8_t> &scratch)
+                        std::vector<std::uint8_t> &scratch,
+                        const std::vector<std::uint8_t> &payload)
 {
     auto &engine = kernel_.machine().engine();
     engine.advance(config_.clientWork);
@@ -46,7 +47,7 @@ MemtierClient::sendNext(Connection &conn, Rng &rng,
     const std::uint32_t value_len = is_set ? config_.valueSize : 0;
     const std::uint64_t len = KvProtocol::encodeRequest(
         scratch.data(), is_set ? KvOp::Set : KvOp::Get, key,
-        scratch.data() + 64, value_len); // payload: arbitrary bytes
+        payload.data(), value_len);
 
     conn.sentAt = kernel_.machine().now();
     conn.expected = KvProtocol::kResponseHeader +
@@ -65,6 +66,9 @@ MemtierClient::clientThread(int thread_index)
 {
     Rng rng(0xbeef0000 + static_cast<std::uint64_t>(thread_index));
     std::vector<std::uint8_t> scratch(config_.valueSize + 64);
+    // Payload bytes live in their own buffer: encodeRequest memcpys
+    // them into scratch, and src/dst must not overlap.
+    const std::vector<std::uint8_t> payload(config_.valueSize, 0xab);
     std::vector<std::uint8_t> recv_buf(config_.valueSize + 64);
 
     // Open the connection pool and issue the first request on each.
@@ -77,7 +81,7 @@ MemtierClient::clientThread(int thread_index)
         hc_assert(conns[i].fd >= 0);
         kernel_.epollCtlAdd(epfd, conns[i].fd);
         by_fd[conns[i].fd] = i;
-        sendNext(conns[i], rng, scratch);
+        sendNext(conns[i], rng, scratch, payload);
     }
 
     std::vector<int> ready;
@@ -104,7 +108,7 @@ MemtierClient::clientThread(int thread_index)
                 latencies_.add(static_cast<double>(
                     kernel_.machine().now() - conn.sentAt));
             }
-            sendNext(conn, rng, scratch);
+            sendNext(conn, rng, scratch, payload);
         }
     }
 

@@ -69,7 +69,8 @@ class MemtierClient
 
     void clientThread(int thread_index);
     void sendNext(Connection &conn, Rng &rng,
-                  std::vector<std::uint8_t> &scratch);
+                  std::vector<std::uint8_t> &scratch,
+                  const std::vector<std::uint8_t> &payload);
 
     os::Kernel &kernel_;
     int serverPort_;

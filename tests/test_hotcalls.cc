@@ -347,6 +347,69 @@ TEST(HotCalls, DestructionJoinsResponder)
     });
 }
 
+TEST(HotCalls, DestroyAfterEngineRunFreesChannelLine)
+{
+    // stop() mid-run strands the responder frozen in its poll loop,
+    // never reaching Done. Destroying the service afterwards must
+    // still free the channel line — once Engine::run() has returned,
+    // no fiber can ever touch it again. The destructor used to skip
+    // the free whenever the responder was not Done and leak the line.
+    Fixture f;
+    const std::uint64_t baseline =
+        f.machine.space().untrusted().bytesInUse();
+    {
+        HotCallService hot(f.runtime, Kind::HotEcall, 1);
+        EXPECT_GT(f.machine.space().untrusted().bytesInUse(), baseline);
+        f.run([&] {
+            hot.start();
+            EXPECT_EQ(hot.call("ecall_add", {edl::Arg::value(40),
+                                             edl::Arg::value(2)}),
+                      42u);
+            f.machine.engine().stop(); // strand the responder mid-poll
+        });
+    } // destructor runs outside the simulation
+    EXPECT_EQ(f.machine.space().untrusted().bytesInUse(), baseline);
+}
+
+TEST(HotCalls, AbortedRunUnblocksRequesterMidCall)
+{
+    // A responder stuck forever inside a handler never clears the
+    // busy flag. When stop() is then requested from an interrupt
+    // while the spinning requester is the only runnable fiber left,
+    // the completion wait must bail out (bounded, like the join loop
+    // in stop()) — it used to spin on the flag forever, keeping the
+    // host process alive.
+    mem::MachineConfig config;
+    config.engine.numCores = 4;
+    config.engine.interruptMeanCycles = 50'000;
+    mem::Machine machine(config);
+    sgx::SgxPlatform platform(machine);
+    sdk::EnclaveRuntime runtime(platform, "hot-abort", kEdl, 4);
+    sim::WaitQueue never;
+    runtime.registerEcall("ecall_add", [&](edl::StagedCall &) {
+        machine.engine().wait(never); // blocks forever
+    });
+    machine.engine().setInterruptHandler(
+        [&](CoreId, Cycles now) -> Cycles {
+            if (now > 1'000'000)
+                machine.engine().stop();
+            return 0;
+        });
+
+    HotCallService hot(runtime, Kind::HotEcall, 1);
+    bool returned = false;
+    machine.engine().spawn("app", 0, [&] {
+        hot.start();
+        hot.call("ecall_add",
+                 {edl::Arg::value(1), edl::Arg::value(2)});
+        returned = true;
+    });
+    machine.engine().run();
+    EXPECT_TRUE(returned);
+    EXPECT_EQ(hot.stats().aborts, 1u);
+    EXPECT_EQ(hot.stats().calls, 0u);
+}
+
 TEST(HotCalls, IdleResponderBurnsFewCyclesPerPoll)
 {
     Fixture f;

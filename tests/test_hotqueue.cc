@@ -363,6 +363,74 @@ TEST(HotQueue, DestructionJoinsResponderPool)
     });
 }
 
+TEST(HotQueue, DestroyAfterEngineRunFreesRingLines)
+{
+    // stop() mid-run strands the responder pool: the responders are
+    // frozen in their loops, never reaching Done. Destroying the
+    // queue afterwards must still free the ring and cursor lines —
+    // once Engine::run() has returned, no fiber can ever touch them
+    // again. The destructor used to bail out on the first not-Done
+    // responder and leak every line.
+    Fixture f;
+    const std::uint64_t baseline =
+        f.machine.space().untrusted().bytesInUse();
+    {
+        HotQueueConfig config;
+        config.responderCores = {1, 2};
+        HotQueue hot(f.runtime, Kind::HotEcall, config);
+        EXPECT_GT(f.machine.space().untrusted().bytesInUse(), baseline);
+        f.run([&] {
+            hot.start();
+            EXPECT_EQ(hot.call("ecall_add", {edl::Arg::value(40),
+                                             edl::Arg::value(2)}),
+                      42u);
+            f.machine.engine().stop(); // strand the pool mid-poll
+        });
+    } // destructor runs outside the simulation
+    EXPECT_EQ(f.machine.space().untrusted().bytesInUse(), baseline);
+}
+
+TEST(HotQueue, AbortedRunUnblocksRequesterMidCall)
+{
+    // A responder stuck forever inside a handler never marks the slot
+    // Done. When stop() is then requested from an interrupt while the
+    // spinning requester is the only runnable fiber left, the
+    // completion wait must bail out (bounded, like the join loops in
+    // stop()) — it used to spin on the slot state forever, keeping
+    // the host process alive.
+    mem::MachineConfig config;
+    config.engine.numCores = 4;
+    config.engine.interruptMeanCycles = 50'000;
+    mem::Machine machine(config);
+    sgx::SgxPlatform platform(machine);
+    sdk::EnclaveRuntime runtime(platform, "hotq-abort", kEdl, 4);
+    sim::WaitQueue never;
+    runtime.registerEcall("ecall_add", [&](edl::StagedCall &) {
+        machine.engine().wait(never); // blocks forever
+    });
+    machine.engine().setInterruptHandler(
+        [&](CoreId, Cycles now) -> Cycles {
+            if (now > 1'000'000)
+                machine.engine().stop();
+            return 0;
+        });
+
+    HotQueueConfig qconfig;
+    qconfig.responderCores = {1};
+    HotQueue hot(runtime, Kind::HotEcall, qconfig);
+    bool returned = false;
+    machine.engine().spawn("app", 0, [&] {
+        hot.start();
+        hot.call("ecall_add",
+                 {edl::Arg::value(1), edl::Arg::value(2)});
+        returned = true;
+    });
+    machine.engine().run();
+    EXPECT_TRUE(returned);
+    EXPECT_EQ(hot.stats().aborts, 1u);
+    EXPECT_EQ(hot.stats().calls, 0u);
+}
+
 TEST(HotQueue, DeterministicAcrossRuns)
 {
     auto run_once = [] {

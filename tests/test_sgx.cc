@@ -296,6 +296,7 @@ TEST(EpcManager, FaultsOnlyAfterEviction)
         for (Addr a = base; a < base + 2_MiB; a += kPageSize)
             machine.memory().accessWord(a, false);
         EXPECT_GT(epc.faults(), 0u);
+        machine.space().free(base);
     });
     machine.engine().run();
 }
@@ -315,6 +316,7 @@ TEST(EpcManager, FitsWithinCapacityNoThrash)
                 machine.memory().accessWord(a, false);
         EXPECT_EQ(platform.epc().faults(), 0u);
         EXPECT_EQ(platform.epc().evictions(), 0u);
+        machine.space().free(base);
     });
     machine.engine().run();
 }
@@ -334,6 +336,7 @@ TEST(EpcManager, DisableSwitch)
             machine.memory().accessWord(a, false);
         EXPECT_EQ(platform.epc().faults(), 0u);
         EXPECT_EQ(platform.epc().evictions(), 0u);
+        machine.space().free(base);
     });
     machine.engine().run();
 }
