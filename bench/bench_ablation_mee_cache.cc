@@ -6,6 +6,8 @@
  * cache size shows the curve's knee moving.
  */
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -18,7 +20,7 @@ namespace {
 
 /** Median encrypted/plain overhead (%) for one cache geometry. */
 double
-overheadFor(int cache_entries, std::uint64_t buffer_bytes)
+overheadFor(int cache_entries, std::uint64_t buffer_bytes, int runs)
 {
     mem::MachineConfig config;
     config.engine.seed = 42;
@@ -32,7 +34,7 @@ overheadFor(int cache_entries, std::uint64_t buffer_bytes)
         mem::Buffer plain(machine, mem::Domain::Untrusted,
                           buffer_bytes);
         SampleSet e, p;
-        for (int i = 0; i < 300; ++i) {
+        for (int i = 0; i < runs; ++i) {
             enc.evict();
             e.add(static_cast<double>(
                 machine.memory().readBuffer(enc.addr(),
@@ -51,8 +53,14 @@ overheadFor(int cache_entries, std::uint64_t buffer_bytes)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int runs = 300;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--runs=", 7) == 0)
+            runs = std::atoi(argv[i] + 7);
+    }
+
     std::printf("Ablation: MEE node-cache size vs encrypted "
                 "sequential-read overhead\n");
     std::printf("(default geometry: 48 entries, 2-way; paper Fig 6 "
@@ -66,7 +74,8 @@ main()
         std::vector<std::string> row = {std::to_string(entries)};
         for (std::uint64_t size : sizes)
             row.push_back(
-                TextTable::num(overheadFor(entries, size), 1) + "%");
+                TextTable::num(overheadFor(entries, size, runs), 1) +
+                "%");
         table.addRow(row);
     }
     table.print();

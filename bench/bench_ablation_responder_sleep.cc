@@ -6,6 +6,9 @@
  * first-call latency after an idle period (the wake-up penalty).
  */
 
+#include <cstdlib>
+#include <cstring>
+
 #include "bench/bench_common.hh"
 
 using namespace hc;
@@ -21,7 +24,7 @@ struct Result {
 };
 
 Result
-runSleepConfig(bool sleep_enabled)
+runSleepConfig(bool sleep_enabled, double idle_seconds)
 {
     TestBed bed(/*with_interrupts=*/false);
     auto &machine = *bed.machine;
@@ -40,7 +43,7 @@ runSleepConfig(bool sleep_enabled)
         // Warm call, then a long idle period.
         hot.call(id, {});
         const std::uint64_t polls0 = hot.stats().responderPolls;
-        engine.sleepFor(secondsToCycles(0.002)); // 8M idle cycles
+        engine.sleepFor(secondsToCycles(idle_seconds));
         result.idlePolls = hot.stats().responderPolls - polls0;
         result.sleeps = hot.stats().responderSleeps;
 
@@ -66,14 +69,22 @@ runSleepConfig(bool sleep_enabled)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    double idle_seconds = 0.002; // 8M idle cycles at 4 GHz
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--idle-seconds=", 15) == 0)
+            idle_seconds = std::atof(argv[i] + 15);
+    }
     std::printf("Ablation: responder idle-sleep "
-                "(2k idle polls before parking; 8M-cycle idle gap)\n\n");
+                "(2k idle polls before parking; %.0fM-cycle idle "
+                "gap)\n\n",
+                static_cast<double>(secondsToCycles(idle_seconds)) /
+                    1e6);
     TextTable table({"policy", "idle polls", "times slept",
                      "call-after-idle", "steady-state call"});
     for (bool sleep_enabled : {false, true}) {
-        const Result r = runSleepConfig(sleep_enabled);
+        const Result r = runSleepConfig(sleep_enabled, idle_seconds);
         table.addRow({sleep_enabled ? "sleep on condvar"
                                     : "always spin (paper default)",
                       std::to_string(r.idlePolls),

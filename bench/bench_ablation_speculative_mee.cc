@@ -9,6 +9,8 @@
  * far it moves the paper's memory results.
  */
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -26,7 +28,7 @@ struct Numbers {
 };
 
 Numbers
-runWith(bool speculative)
+runWith(bool speculative, int runs)
 {
     mem::MachineConfig config;
     config.engine.seed = 42;
@@ -41,7 +43,7 @@ runWith(bool speculative)
             mem::Buffer plain(machine, mem::Domain::Untrusted,
                               bytes);
             SampleSet e, p;
-            for (int i = 0; i < 400; ++i) {
+            for (int i = 0; i < runs; ++i) {
                 enc.evict();
                 e.add(static_cast<double>(machine.memory().readBuffer(
                     enc.addr(), bytes)));
@@ -57,7 +59,7 @@ runWith(bool speculative)
 
         workloads::SpecConfig spec;
         spec.mcfBytes = 16_MiB;
-        spec.mcfSteps = 100'000;
+        spec.mcfSteps = 250 * runs;
         spec.libqBytes = 96_MiB;
         spec.libqSweeps = 2;
         machine.memory().evictAll();
@@ -84,12 +86,17 @@ runWith(bool speculative)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int runs = 400;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--runs=", 7) == 0)
+            runs = std::atoi(argv[i] + 7);
+    }
     std::printf("Extension ablation: PoisonIvy-style speculative "
                 "MEE loading (paper §6.2's pointer to [22])\n\n");
-    const Numbers base = runWith(false);
-    const Numbers spec = runWith(true);
+    const Numbers base = runWith(false, runs);
+    const Numbers spec = runWith(true, runs);
 
     TextTable table({"metric", "baseline MEE", "speculative MEE"});
     table.addRow({"2 KiB read overhead",

@@ -10,6 +10,7 @@
  * what keeps worst-case latency bounded.
  */
 
+#include <cstdlib>
 #include <cstring>
 
 #include "bench/bench_common.hh"
@@ -26,7 +27,8 @@ struct Result {
 };
 
 Result
-runContention(int requesters, int timeout_tries, Cycles work_cycles)
+runContention(int requesters, int timeout_tries, Cycles work_cycles,
+              int calls)
 {
     TestBed bed(/*with_interrupts=*/false);
     auto &machine = *bed.machine;
@@ -50,7 +52,7 @@ runContention(int requesters, int timeout_tries, Cycles work_cycles)
     for (int r = 0; r < requesters; ++r) {
         engine.spawn("req" + std::to_string(r), 2 + r, [&, r] {
             (void)r;
-            for (int i = 0; i < 500; ++i) {
+            for (int i = 0; i < calls; ++i) {
                 const Cycles t0 = machine.now();
                 hot.call(id, {edl::Arg::value(0)});
                 latencies.add(
@@ -74,18 +76,24 @@ runContention(int requesters, int timeout_tries, Cycles work_cycles)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int calls = 500;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--runs=", 7) == 0)
+            calls = std::atoi(argv[i] + 7);
+    }
     std::printf("Ablation: HotCall timeout fallback under responder "
                 "contention\n");
-    std::printf("(each requester issues 500 calls of ~2k cycles "
-                "service time)\n\n");
+    std::printf("(each requester issues %d calls of ~2k cycles "
+                "service time)\n\n", calls);
 
     TextTable table({"requesters", "timeout tries", "hot calls",
                      "fallbacks", "fallback %", "mean latency"});
     for (int requesters : {1, 2, 4, 6}) {
         for (int tries : {2, 10, 50}) {
-            const Result r = runContention(requesters, tries, 2'000);
+            const Result r =
+                runContention(requesters, tries, 2'000, calls);
             const double total =
                 static_cast<double>(r.calls + r.fallbacks);
             table.addRow(

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Host-side simulator throughput (google-benchmark): how many
+ * simulated megacycles the discrete-event stack retires per host
+ * second on representative workloads. This is the benchmark the
+ * TurboSim fast paths are judged by; the golden-digest harness
+ * (tests/test_determinism.cc) guarantees they change none of the
+ * simulated outputs.
+ *
+ * Workloads:
+ *  - warm SDK ecall loop: the conventional call path (single fiber,
+ *    marshalling + context-line pricing, no interleaving),
+ *  - HotCall ping-pong: the Fig 3 single-line channel (two fibers
+ *    interleaving at every poll -> fiber-switch bound),
+ *  - HotQueue at 4 requesters: the scaled channel (six fibers,
+ *    batching responder pool),
+ *  - encrypted-buffer sweep: readBuffer/writeBuffer over EPC working
+ *    sets (cache + MEE model bound, no fiber switches).
+ *
+ * Every benchmark reports sim_Mcycles_per_s (simulated Mcycles per
+ * host second, the figure of merit) next to google-benchmark's
+ * items_per_second (simulated calls or buffer passes).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hotcalls/hotcall.hh"
+#include "hotcalls/hotqueue.hh"
+#include "mem/buffer.hh"
+#include "mem/machine.hh"
+#include "sdk/runtime.hh"
+#include "sgx/platform.hh"
+
+using namespace hc;
+
+namespace {
+
+const char *kBenchEdl = R"(
+    enclave {
+        trusted {
+            public uint64_t ecall_add(uint64_t a, uint64_t b);
+            public void ecall_empty();
+        };
+        untrusted { void ocall_empty(); };
+    };
+)";
+
+/** Machine + microbench enclave (interrupts off: pure throughput). */
+struct Bed {
+    mem::Machine machine;
+    sgx::SgxPlatform platform;
+    sdk::EnclaveRuntime runtime;
+
+    Bed()
+        : machine([] {
+              mem::MachineConfig config;
+              config.engine.numCores = 8;
+              config.engine.seed = 42;
+              return config;
+          }()),
+          platform(machine), runtime(platform, "simspeed", kBenchEdl, 4)
+    {
+        runtime.registerEcall("ecall_add", [](edl::StagedCall &c) {
+            c.setRetval(c.scalar(0) + c.scalar(1));
+        });
+        runtime.registerEcall("ecall_empty",
+                              [](edl::StagedCall &) {});
+        runtime.registerOcall("ocall_empty",
+                              [](edl::StagedCall &) {});
+    }
+
+    /** Total simulated time retired across every core. */
+    Cycles totalSimCycles()
+    {
+        Cycles total = 0;
+        for (int c = 0; c < machine.engine().numCores(); ++c)
+            total += machine.engine().coreNow(c);
+        return total;
+    }
+};
+
+void
+reportSimRate(benchmark::State &state, double sim_cycles,
+              double items)
+{
+    state.SetItemsProcessed(static_cast<std::int64_t>(items));
+    state.counters["sim_Mcycles_per_s"] = benchmark::Counter(
+        sim_cycles / 1e6, benchmark::Counter::kIsRate);
+}
+
+} // anonymous namespace
+
+static void
+BM_SimWarmEcallLoop(benchmark::State &state)
+{
+    constexpr int kCalls = 1'000;
+    double sim_cycles = 0, calls = 0;
+    for (auto _ : state) {
+        Bed bed;
+        bed.machine.engine().spawn("driver", 0, [&] {
+            for (int i = 0; i < kCalls; ++i)
+                bed.runtime.ecall("ecall_empty", {});
+        });
+        bed.machine.engine().run();
+        sim_cycles += static_cast<double>(bed.totalSimCycles());
+        calls += kCalls;
+    }
+    reportSimRate(state, sim_cycles, calls);
+}
+BENCHMARK(BM_SimWarmEcallLoop);
+
+static void
+BM_SimHotCallPingPong(benchmark::State &state)
+{
+    constexpr int kCalls = 1'000;
+    double sim_cycles = 0, calls = 0;
+    for (auto _ : state) {
+        Bed bed;
+        hotcalls::HotCallService hot(bed.runtime,
+                                     hotcalls::Kind::HotEcall, 1);
+        auto &engine = bed.machine.engine();
+        engine.spawn("driver", 0, [&] {
+            hot.start();
+            const int id = bed.runtime.ecallId("ecall_empty");
+            for (int i = 0; i < kCalls; ++i)
+                hot.call(id, {});
+            hot.stop();
+            engine.stop();
+        });
+        engine.run();
+        sim_cycles += static_cast<double>(bed.totalSimCycles());
+        calls += kCalls;
+    }
+    reportSimRate(state, sim_cycles, calls);
+}
+BENCHMARK(BM_SimHotCallPingPong);
+
+static void
+BM_SimHotQueue4Requesters(benchmark::State &state)
+{
+    constexpr int kRequesters = 4;
+    constexpr int kCallsEach = 250;
+    double sim_cycles = 0, calls = 0;
+    for (auto _ : state) {
+        Bed bed;
+        hotcalls::HotQueueConfig config;
+        config.numSlots = 8;
+        config.responderCores = {1, 2};
+        hotcalls::HotQueue hot(bed.runtime,
+                               hotcalls::Kind::HotEcall, config);
+        auto &engine = bed.machine.engine();
+        int done = 0;
+        hot.start();
+        for (int r = 0; r < kRequesters; ++r) {
+            engine.spawn("req" + std::to_string(r), 3 + r, [&] {
+                const int id = bed.runtime.ecallId("ecall_empty");
+                for (int i = 0; i < kCallsEach; ++i)
+                    hot.call(id, {});
+                if (++done == kRequesters) {
+                    hot.stop();
+                    engine.stop();
+                }
+            });
+        }
+        engine.run();
+        sim_cycles += static_cast<double>(bed.totalSimCycles());
+        calls += kRequesters * kCallsEach;
+    }
+    reportSimRate(state, sim_cycles, calls);
+}
+BENCHMARK(BM_SimHotQueue4Requesters);
+
+static void
+BM_SimEncryptedBufferSweep(benchmark::State &state)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(state.range(0));
+    constexpr int kPasses = 50;
+    double sim_cycles = 0, passes = 0;
+    for (auto _ : state) {
+        Bed bed;
+        bed.machine.engine().spawn("sweep", 0, [&] {
+            mem::Buffer enc(bed.machine, mem::Domain::Epc, bytes);
+            mem::Buffer plain(bed.machine, mem::Domain::Untrusted,
+                              bytes);
+            for (int i = 0; i < kPasses; ++i) {
+                enc.read();
+                enc.write(i % 8 == 7);
+                plain.read();
+                plain.write(false);
+                if (i % 16 == 15) {
+                    bed.machine.memory().evictAll();
+                    bed.machine.memory().mee().clearNodeCache();
+                }
+            }
+        });
+        bed.machine.engine().run();
+        sim_cycles += static_cast<double>(bed.totalSimCycles());
+        passes += kPasses;
+    }
+    reportSimRate(state, sim_cycles, passes);
+}
+BENCHMARK(BM_SimEncryptedBufferSweep)->Arg(2048)->Arg(32768)->Arg(262144);
+
+BENCHMARK_MAIN();

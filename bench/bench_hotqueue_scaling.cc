@@ -19,6 +19,8 @@
 
 #include "bench/bench_common.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -31,7 +33,7 @@ namespace {
 
 /** Requester cores; driver runs on 7, responders on 1 (and 2). */
 constexpr CoreId kRequesterCores[] = {3, 4, 5, 6};
-constexpr Cycles kMeasureWindow = 2'000'000;
+Cycles g_measure_window = 2'000'000; // --window=N overrides
 
 struct RunResult {
     double callsPerSec = 0;
@@ -75,7 +77,7 @@ driveChannel(TestBed &bed, hotcalls::Channel &channel, int requesters)
     }
 
     const Cycles t0 = bed.machine->now();
-    engine.sleepFor(kMeasureWindow);
+    engine.sleepFor(g_measure_window);
     stop_flag = true;
     for (auto *t : threads)
         join(engine, t);
@@ -181,7 +183,7 @@ runAdaptive()
                 engine.sleepFor(2'000);
             }
         });
-        engine.sleepFor(2 * kMeasureWindow);
+        engine.sleepFor(2 * g_measure_window);
         stop_flag = true;
         join(engine, light);
 
@@ -205,12 +207,17 @@ runAdaptive()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--window=", 9) == 0)
+            g_measure_window = static_cast<Cycles>(
+                std::atoll(argv[i] + 9));
+    }
     std::printf("HotQueue scaling: requester count x slot count x "
                 "responder pool\n(HotEcall direction, ecall_empty, "
                 "%.1fms simulated window per point)\n\n",
-                cyclesToMillis(kMeasureWindow));
+                cyclesToMillis(g_measure_window));
 
     TextTable table({"channel", "req", "slots", "pool", "calls/s",
                      "mean batch", "fallbacks", "scale +/-"});

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_host_simspeed run against a baseline.
+
+Usage: check_simspeed.py BASELINE.json CURRENT.json [--tolerance=0.25]
+
+Both files are google-benchmark JSON (--benchmark_out_format=json).
+Exits non-zero when any benchmark's items_per_second regressed by
+more than the tolerance relative to the baseline. Benchmarks present
+in only one file are reported but do not fail the check (the set
+changes when benchmarks are added), except when the current file has
+none in common with the baseline, which is always an error.
+
+Stdlib only — runs on a bare CI image.
+"""
+
+import json
+import sys
+
+
+def rates(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("items_per_second")
+        if rate:
+            out[bench["name"]] = rate
+    return out
+
+
+def main(argv):
+    tolerance = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    base = rates(paths[0])
+    cur = rates(paths[1])
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print("no common benchmarks between baseline and current",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for name in common:
+        ratio = cur[name] / base[name]
+        status = "ok"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSED"
+            failed = True
+        print(f"{name}: {base[name]:.0f} -> {cur[name]:.0f} items/s "
+              f"({ratio:.2f}x) {status}")
+    for name in sorted(set(base) ^ set(cur)):
+        side = "baseline" if name in base else "current"
+        print(f"{name}: only in {side} (ignored)")
+
+    if failed:
+        print(f"simspeed regression beyond {tolerance:.0%} tolerance",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

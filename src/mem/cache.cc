@@ -22,6 +22,10 @@ CacheModel::CacheModel(std::uint64_t size, int ways,
     sets_.resize(num_sets);
     for (auto &set : sets_)
         set.ways.resize(static_cast<std::size_t>(ways));
+    // The default geometry gives a power-of-two set count; index with
+    // a mask then, falling back to modulo for odd configurations.
+    if ((num_sets & (num_sets - 1)) == 0)
+        setMask_ = num_sets - 1;
 }
 
 CacheModel::Set &
@@ -29,17 +33,32 @@ CacheModel::setFor(Addr addr)
 {
     // Hash the line address so widely separated regions (untrusted vs
     // EPC bases) spread over all sets instead of aliasing.
+    const std::uint64_t hash = mix64(lineAddr(addr));
     const std::uint64_t idx =
-        mix64(lineAddr(addr)) % sets_.size();
+        setMask_ ? (hash & setMask_) : hash % sets_.size();
     return sets_[idx];
 }
 
 const CacheModel::Set &
 CacheModel::setFor(Addr addr) const
 {
+    const std::uint64_t hash = mix64(lineAddr(addr));
     const std::uint64_t idx =
-        mix64(lineAddr(addr)) % sets_.size();
+        setMask_ ? (hash & setMask_) : hash % sets_.size();
     return sets_[idx];
+}
+
+CacheOutcome
+CacheModel::touchHit(Line &way, CoreId core, bool write)
+{
+    const CacheOutcome outcome = (way.owner == core)
+                                     ? CacheOutcome::OwnedHit
+                                     : CacheOutcome::SharedHit;
+    way.owner = core;
+    way.dirty = way.dirty || write;
+    way.lastUse = useCounter_;
+    ++hits_;
+    return outcome;
 }
 
 CacheModel::Result
@@ -47,29 +66,38 @@ CacheModel::access(CoreId core, Addr addr, bool write)
 {
     Result result;
     const Addr line = lineAddr(addr);
-    Set &set = setFor(addr);
     ++useCounter_;
 
-    Line *victim = nullptr;
+    // Same line as this core's previous access and still resident:
+    // skip the set hash and the way scan.
+    const auto core_idx = static_cast<std::size_t>(core);
+    if (core_idx >= memo_.size())
+        memo_.resize(core_idx + 1);
+    CoreMemo &memo = memo_[core_idx];
+    if (memo.line == line && memo.way->valid && memo.way->tag == line) {
+        result.outcome = touchHit(*memo.way, core, write);
+        return result;
+    }
+
+    Set &set = setFor(addr);
     for (auto &way : set.ways) {
         if (way.valid && way.tag == line) {
-            result.outcome = (way.owner == core)
-                                 ? CacheOutcome::OwnedHit
-                                 : CacheOutcome::SharedHit;
-            way.owner = core;
-            way.dirty = way.dirty || write;
-            way.lastUse = useCounter_;
-            ++hits_;
+            result.outcome = touchHit(way, core, write);
+            memo = CoreMemo{line, &way};
             return result;
-        }
-        if (!victim || !way.valid ||
-            (victim->valid && way.lastUse < victim->lastUse)) {
-            if (!victim || victim->valid)
-                victim = &way;
         }
     }
 
-    // Miss: fill, evicting the LRU way.
+    // Miss: fill, evicting the first invalid way, else the LRU way.
+    Line *victim = nullptr;
+    for (auto &way : set.ways) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
     hc_assert(victim);
     ++misses_;
     if (victim->valid) {
@@ -82,6 +110,7 @@ CacheModel::access(CoreId core, Addr addr, bool write)
     victim->dirty = write;
     victim->owner = core;
     victim->lastUse = useCounter_;
+    memo = CoreMemo{line, victim};
     return result;
 }
 

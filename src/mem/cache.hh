@@ -89,12 +89,29 @@ class CacheModel
         std::vector<Line> ways;
     };
 
+    /**
+     * Per-core most-recently-used way. Spin-polling a HotCalls
+     * channel or sweeping a buffer hits the same line back to back;
+     * the memo turns those accesses into one pointer validation
+     * (valid + tag match, so any eviction in between is caught)
+     * instead of a hash + way scan. Way storage never reallocates
+     * after construction, so the cached pointers stay stable.
+     */
+    struct CoreMemo {
+        Addr line = ~Addr{0};
+        Line *way = nullptr;
+    };
+
     Set &setFor(Addr addr);
     const Set &setFor(Addr addr) const;
     Addr lineAddr(Addr addr) const { return addr & ~(lineSize_ - 1); }
+    /** Classify a hit on @p way and update its metadata. */
+    CacheOutcome touchHit(Line &way, CoreId core, bool write);
 
     std::uint64_t lineSize_;
     std::vector<Set> sets_;
+    std::uint64_t setMask_ = 0; //!< sets-1 when a power of two, else 0
+    std::vector<CoreMemo> memo_; //!< indexed by core, grown on demand
     std::uint64_t useCounter_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

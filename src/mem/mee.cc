@@ -31,12 +31,8 @@ Mee::Mee(const CostParams &params, Addr epc_base, std::uint64_t epc_size,
         coverage *= static_cast<std::uint64_t>(params_.meeTreeArity);
         ++treeLevels_;
     }
-
-    trustedVersion_.assign(numLines_, 0);
-    dramVersion_.assign(numLines_, 0);
-    dramMac_.resize(numLines_);
-    for (std::uint64_t i = 0; i < numLines_; ++i)
-        dramMac_[i] = macFor(i, 0);
+    if (treeLevels_ > 1)
+        path_.reserve(static_cast<std::size_t>(treeLevels_ - 1));
 }
 
 std::uint64_t
@@ -58,31 +54,54 @@ Mee::macFor(std::uint64_t line_index, std::uint64_t version) const
     return fastHash64(material, sizeof(material));
 }
 
+Mee::LineMeta &
+Mee::metaFor(std::uint64_t line_index)
+{
+    auto [it, inserted] = lines_.try_emplace(line_index);
+    if (inserted)
+        it->second.dramMac = macFor(line_index, 0);
+    return it->second;
+}
+
 int
 Mee::readWalkMisses(Addr line_addr)
 {
     const std::uint64_t idx = lineIndex(line_addr);
-    int misses = 0;
+    const auto arity = static_cast<std::uint64_t>(params_.meeTreeArity);
+
+    // Re-derive the walk path only when the leaf group changes; a
+    // sequential sweep reuses it for arity consecutive lines.
+    const std::uint64_t group = idx / arity;
+    if (group != pathGroup_) {
+        pathGroup_ = group;
+        path_.clear();
+        std::uint64_t node = group;
+        for (int level = 1; level < treeLevels_; ++level) {
+            const std::uint64_t tag =
+                (static_cast<std::uint64_t>(level) << 48) | (node + 1);
+            const auto set = static_cast<std::uint32_t>(
+                mix64(tag) % static_cast<std::uint64_t>(nodeSets_));
+            path_.push_back(PathNode{tag, set});
+            node /= arity;
+        }
+    }
+
     // Walk from the leaf counter level upward. A level whose covering
     // node is in the node cache ends the walk: the cached node is
-    // already trusted. The root is pinned on-die.
-    std::uint64_t node = idx;
+    // already trusted. The root (level treeLevels_) is pinned on-die
+    // and never fetched, so it has no path entry.
+    int misses = 0;
     const int ways = params_.meeCacheWays;
-    for (int level = 1; level <= treeLevels_; ++level) {
-        node /= static_cast<std::uint64_t>(params_.meeTreeArity);
-        if (level == treeLevels_)
-            break; // root reached: on-die, never fetched
-        const std::uint64_t tag =
-            (static_cast<std::uint64_t>(level) << 48) | (node + 1);
-        const std::size_t set = static_cast<std::size_t>(
-            mix64(tag) % static_cast<std::uint64_t>(nodeSets_));
-        NodeWay *base = &nodeCache_[set * static_cast<std::size_t>(ways)];
+    for (const PathNode &pn : path_) {
+        NodeWay *base =
+            &nodeCache_[static_cast<std::size_t>(pn.set) *
+                        static_cast<std::size_t>(ways)];
         ++nodeUseCounter_;
 
         NodeWay *victim = &base[0];
         bool hit = false;
         for (int w = 0; w < ways; ++w) {
-            if (base[w].tag == tag) {
+            if (base[w].tag == pn.tag) {
                 base[w].lastUse = nodeUseCounter_;
                 hit = true;
                 break;
@@ -99,7 +118,7 @@ Mee::readWalkMisses(Addr line_addr)
         }
         ++nodeMisses_;
         ++misses;
-        victim->tag = tag;
+        victim->tag = pn.tag;
         victim->lastUse = nodeUseCounter_;
     }
     return misses;
@@ -115,36 +134,47 @@ bool
 Mee::verifyLine(Addr line_addr) const
 {
     const std::uint64_t idx = lineIndex(line_addr);
-    if (dramMac_[idx] != macFor(idx, dramVersion_[idx]))
+    const auto it = lines_.find(idx);
+    if (it == lines_.end())
+        return true; // untouched line: version 0, MAC as initialised
+    LineMeta &meta = it->second;
+    if (meta.verified)
+        return true;
+    if (meta.dramMac != macFor(idx, meta.dramVersion))
         return false; // forged/corrupted line or MAC
-    if (dramVersion_[idx] != trustedVersion_[idx])
+    if (meta.dramVersion != meta.trustedVersion)
         return false; // consistent but stale: rollback attack
+    meta.verified = true;
     return true;
 }
 
 void
 Mee::writebackLine(Addr line_addr)
 {
-    const std::uint64_t idx = lineIndex(line_addr);
-    ++trustedVersion_[idx];
-    dramVersion_[idx] = trustedVersion_[idx];
-    dramMac_[idx] = macFor(idx, dramVersion_[idx]);
+    LineMeta &meta = metaFor(lineIndex(line_addr));
+    ++meta.trustedVersion;
+    meta.dramVersion = meta.trustedVersion;
+    meta.dramMac = macFor(lineIndex(line_addr), meta.dramVersion);
+    // The fresh pair matches the trusted counter by construction.
+    meta.verified = true;
 }
 
 void
 Mee::tamperMac(Addr line_addr)
 {
-    const std::uint64_t idx = lineIndex(line_addr);
-    dramMac_[idx] ^= 0x1;
+    LineMeta &meta = metaFor(lineIndex(line_addr));
+    meta.dramMac ^= 0x1;
+    meta.verified = false;
 }
 
 void
 Mee::rollbackLine(Addr line_addr)
 {
-    const std::uint64_t idx = lineIndex(line_addr);
-    hc_assert(dramVersion_[idx] > 0);
-    --dramVersion_[idx];
-    dramMac_[idx] = macFor(idx, dramVersion_[idx]);
+    LineMeta &meta = metaFor(lineIndex(line_addr));
+    hc_assert(meta.dramVersion > 0);
+    --meta.dramVersion;
+    meta.dramMac = macFor(lineIndex(line_addr), meta.dramVersion);
+    meta.verified = false;
 }
 
 } // namespace hc::mem

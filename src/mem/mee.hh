@@ -19,12 +19,19 @@
  *    absorbed in the background (write-combining), matching the
  *    paper's observation that encrypted writes cost only ~6% extra
  *    (Fig 7) while reads pay up to 102%.
+ *
+ * Line metadata is a sparse overlay: a line with no entry is in its
+ * freshly-initialised state (version 0 on both sides, MAC derivable
+ * from the key). Materialising entries lazily keeps construction O(1)
+ * in EPC size — the eager form hashed a MAC for each of the ~4M lines
+ * of a 256 MiB EPC before the simulation could start.
  */
 
 #ifndef HC_MEM_MEE_HH
 #define HC_MEM_MEE_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/cost_params.hh"
@@ -96,9 +103,25 @@ class Mee
     std::uint64_t nodeCacheMisses() const { return nodeMisses_; }
 
   private:
+    /**
+     * Per-line protection state. Absent from lines_ means "never
+     * written back or attacked": version 0 everywhere, MAC =
+     * macFor(index, 0), trivially valid.
+     */
+    struct LineMeta {
+        std::uint32_t trustedVersion = 0;
+        std::uint32_t dramVersion = 0;
+        std::uint64_t dramMac = 0;
+        /** Memo: the (version, MAC) pair last passed verifyLine().
+         *  Purely an avoided re-hash — cleared by every mutation. */
+        bool verified = false;
+    };
+
     std::uint64_t lineIndex(Addr line_addr) const;
     std::uint64_t macFor(std::uint64_t line_index,
                          std::uint64_t version) const;
+    /** Materialise (or fetch) the overlay entry for @p line_index. */
+    LineMeta &metaFor(std::uint64_t line_index);
 
     const CostParams &params_;
     Addr epcBase_;
@@ -115,12 +138,23 @@ class Mee
     int nodeSets_ = 0;
     std::uint64_t nodeUseCounter_ = 0;
 
-    /** Trusted version counters (conceptually inside the tree). */
-    std::vector<std::uint32_t> trustedVersion_;
-    /** Version the DRAM copy claims to be. */
-    std::vector<std::uint32_t> dramVersion_;
-    /** MAC stored alongside the DRAM copy. */
-    std::vector<std::uint64_t> dramMac_;
+    /**
+     * Memoised tree walk: every line in a leaf group (same idx /
+     * arity) climbs through the same nodes, so the per-level (tag,
+     * set) pairs of the most recent walk are reused whenever the
+     * group repeats — sequential sweeps re-derive the path once per
+     * group instead of once per line. Pure derivation cache; the node
+     * cache above stays the only stateful part of the walk.
+     */
+    struct PathNode {
+        std::uint64_t tag;
+        std::uint32_t set;
+    };
+    std::uint64_t pathGroup_ = ~std::uint64_t{0};
+    std::vector<PathNode> path_;
+
+    /** Sparse per-line overlay (mutable: verifyLine memoises). */
+    mutable std::unordered_map<std::uint64_t, LineMeta> lines_;
 
     std::uint64_t nodeHits_ = 0;
     std::uint64_t nodeMisses_ = 0;

@@ -20,6 +20,12 @@ MemoryModel::MemoryModel(sim::Engine &engine, AddressSpace &space,
 {
 }
 
+Cycles
+MemoryModel::roundCost(double cost)
+{
+    return static_cast<Cycles>(std::llround(cost));
+}
+
 CoreId
 MemoryModel::currentCore() const
 {
@@ -117,7 +123,7 @@ MemoryModel::readBuffer(Addr addr, std::uint64_t len, bool charge_time)
         }
     }
 
-    const auto cycles = static_cast<Cycles>(std::llround(cost));
+    const Cycles cycles = roundCost(cost);
     if (charge_time)
         charge(cycles);
     return cycles;
@@ -169,7 +175,7 @@ MemoryModel::writeBuffer(Addr addr, std::uint64_t len, bool flush_after,
         }
     }
 
-    const auto cycles = static_cast<Cycles>(std::llround(cost));
+    const Cycles cycles = roundCost(cost);
     if (charge_time)
         charge(cycles);
     return cycles;
@@ -222,7 +228,7 @@ MemoryModel::accessWord(Addr addr, bool write, bool charge_time)
         break;
     }
 
-    const auto cycles = static_cast<Cycles>(std::llround(cost));
+    const Cycles cycles = roundCost(cost);
     if (charge_time)
         charge(cycles);
     return cycles;

@@ -123,6 +123,21 @@ class MemoryModel
     /** Charge @p cycles on the calling fiber, if any. */
     void charge(Cycles cycles);
 
+    /**
+     * The single double→Cycles rounding point.
+     *
+     * Costs accumulate as doubles because several per-line parameters
+     * are calibrated to fractional cycles (seqReadPerLine = 22.7,
+     * meeStreamOverlap = 7.42, ...); rounding per line would distort
+     * large transfers by up to half a cycle per line. Accumulation
+     * order is fixed (page-touch extra first, then strictly ascending
+     * line order, then flushes) and every operation rounds exactly
+     * once, here — keeping results bit-identical across runs and
+     * refactors. Do not round anywhere else, and do not reassociate
+     * the additions: both would shift Table 1/Fig 6-8 outputs.
+     */
+    static Cycles roundCost(double cost);
+
     /** Handle a cache-fill result's eviction (EPC write-back). */
     void handleEviction(const CacheModel::Result &result);
 

@@ -64,6 +64,7 @@ Engine::unwindStranded()
         return;
     hc_assert(!inRun_);
     unwinding_ = true;
+    timedWaiters_.clear(); // hasTimeout_ is force-cleared below
     Engine *prev_engine = g_current_engine;
     g_current_engine = this;
     for (auto &thread : threads_) {
@@ -139,23 +140,61 @@ Engine::nextCandidate(const Core &core, Cycles &time,
     return true;
 }
 
-void
-Engine::refreshNextEvent()
+Engine::Selection
+Engine::selectNext() const
 {
-    nextEventTime_ = kNever;
-    for (const auto &core : cores_) {
+    Selection sel;
+    // Globally minimal runnable candidate; `<` keeps the first core
+    // on ties. Candidate times of every losing core accumulate into
+    // otherMin so a post-dispatch horizon refresh only has to rescan
+    // the winning core.
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
         Cycles t;
         Thread *th;
-        if (nextCandidate(core, t, th))
-            nextEventTime_ = std::min(nextEventTime_, t);
-    }
-    for (const auto &thread : threads_) {
-        if (thread->state_ == ThreadState::Blocked &&
-            thread->hasTimeout_) {
-            nextEventTime_ =
-                std::min(nextEventTime_, thread->timeoutAt_);
+        if (!nextCandidate(cores_[c], t, th))
+            continue;
+        if (t < sel.time) {
+            if (sel.thread)
+                sel.otherMin = std::min(sel.otherMin, sel.time);
+            sel.time = t;
+            sel.thread = th;
+            sel.coreIdx = c;
+        } else {
+            sel.otherMin = std::min(sel.otherMin, t);
         }
     }
+    // Earliest pending waitUntil() deadline; ties resolve by spawn id
+    // so the result matches a scan of threads_ in spawn order.
+    for (Thread *t : timedWaiters_) {
+        if (t->timeoutAt_ < sel.timeoutTime ||
+            (t->timeoutAt_ == sel.timeoutTime &&
+             t->id_ < sel.timeoutThread->id_)) {
+            sel.timeoutTime = t->timeoutAt_;
+            sel.timeoutThread = t;
+        }
+    }
+    return sel;
+}
+
+void
+Engine::updateNextEventAfterDispatch(const Selection &sel)
+{
+    // Dispatch only changed the winning core (candidate removed,
+    // clock moved); every other core's candidate and the timeout
+    // minimum were already gathered by selectNext().
+    Cycles next = std::min(sel.otherMin, sel.timeoutTime);
+    Cycles t;
+    Thread *th;
+    if (nextCandidate(cores_[sel.coreIdx], t, th))
+        next = std::min(next, t);
+    nextEventTime_ = next;
+}
+
+void
+Engine::dropTimedWaiter(Thread *thread)
+{
+    timedWaiters_.erase(std::find(timedWaiters_.begin(),
+                                  timedWaiters_.end(), thread));
 }
 
 void
@@ -167,34 +206,13 @@ Engine::run()
     g_current_engine = this;
 
     while (!stopRequested_ && liveThreads_ > 0) {
+        const Selection sel = selectNext();
+
         // Fire any expired waitUntil() timeout that precedes every
         // runnable candidate: once its deadline is the global minimum,
         // no earlier notify can still happen.
-        Cycles best_time = kNever;
-        Thread *best_thread = nullptr;
-        std::size_t best_core = 0;
-        for (std::size_t c = 0; c < cores_.size(); ++c) {
-            Cycles t;
-            Thread *th;
-            if (nextCandidate(cores_[c], t, th) && t < best_time) {
-                best_time = t;
-                best_thread = th;
-                best_core = c;
-            }
-        }
-
-        Thread *timeout_thread = nullptr;
-        Cycles timeout_time = kNever;
-        for (const auto &thread : threads_) {
-            if (thread->state_ == ThreadState::Blocked &&
-                thread->hasTimeout_ &&
-                thread->timeoutAt_ < timeout_time) {
-                timeout_time = thread->timeoutAt_;
-                timeout_thread = thread.get();
-            }
-        }
-
-        if (timeout_thread && timeout_time < best_time) {
+        if (sel.expiresTimeout()) {
+            Thread *timeout_thread = sel.timeoutThread;
             // Expire the wait: detach from its queue and make it ready.
             WaitQueue *queue = timeout_thread->waitingOn_;
             hc_assert(queue);
@@ -203,11 +221,13 @@ Engine::run()
                                     timeout_thread));
             timeout_thread->waitingOn_ = nullptr;
             timeout_thread->hasTimeout_ = false;
+            dropTimedWaiter(timeout_thread);
             timeout_thread->timedOut_ = true;
-            makeReady(timeout_thread, timeout_time);
+            makeReady(timeout_thread, sel.timeoutTime);
             continue;
         }
 
+        Thread *best_thread = sel.thread;
         if (!best_thread) {
             if (stopRequested_)
                 break;
@@ -221,14 +241,14 @@ Engine::run()
         }
 
         // Dispatch.
-        Core &core = cores_[best_core];
+        Core &core = cores_[sel.coreIdx];
         auto &ready = core.ready;
         ready.erase(std::find(ready.begin(), ready.end(), best_thread));
-        core.clock = best_time;
+        core.clock = sel.time;
         core.running = best_thread;
         best_thread->state_ = ThreadState::Running;
         running_ = best_thread;
-        refreshNextEvent();
+        updateNextEventAfterDispatch(sel);
 
         best_thread->fiber_->switchTo();
 
@@ -262,6 +282,29 @@ Engine::coreNow(CoreId core) const
 {
     hc_assert(core >= 0 && core < numCores());
     return cores_[static_cast<std::size_t>(core)].clock;
+}
+
+bool
+Engine::tryFastResume(Thread *self)
+{
+    // The scheduler loop would re-check stopRequested_ before
+    // dispatching anyone; a pending stop must reach it.
+    if (stopRequested_)
+        return false;
+    const Selection sel = selectNext();
+    if (sel.expiresTimeout() || sel.thread != self)
+        return false;
+
+    // The scheduler's next decision is "run self at sel.time": do the
+    // dispatch bookkeeping in place and skip the fiber round-trip.
+    // running_/core.running still point at self.
+    Core &core = cores_[static_cast<std::size_t>(self->core_)];
+    hc_assert(!core.ready.empty() && core.ready.back() == self);
+    core.ready.pop_back();
+    self->state_ = ThreadState::Running;
+    core.clock = sel.time;
+    updateNextEventAfterDispatch(sel);
+    return true;
 }
 
 void
@@ -318,7 +361,8 @@ Engine::advance(Cycles cycles)
         self->state_ = ThreadState::Ready;
         self->readyTime_ = core.clock;
         core.ready.push_back(self);
-        switchOut();
+        if (!tryFastResume(self))
+            switchOut();
     }
 }
 
@@ -335,7 +379,8 @@ Engine::yield()
     self->state_ = ThreadState::Ready;
     self->readyTime_ = core.clock;
     core.ready.push_back(self);
-    switchOut();
+    if (!tryFastResume(self))
+        switchOut();
 }
 
 void
@@ -349,7 +394,8 @@ Engine::sleepUntil(Cycles when)
     self->state_ = ThreadState::Ready;
     self->readyTime_ = std::max(when, core.clock);
     core.ready.push_back(self);
-    switchOut();
+    if (!tryFastResume(self))
+        switchOut();
 }
 
 void
@@ -380,6 +426,7 @@ Engine::waitUntil(WaitQueue &queue, Cycles deadline)
     self->timeoutAt_ = std::max(deadline, now());
     self->timedOut_ = false;
     queue.waiters_.push_back(self);
+    timedWaiters_.push_back(self);
     switchOut();
     return !self->timedOut_;
 }
@@ -392,7 +439,10 @@ Engine::notifyOne(WaitQueue &queue)
     Thread *woken = queue.waiters_.front();
     queue.waiters_.pop_front();
     woken->waitingOn_ = nullptr;
-    woken->hasTimeout_ = false;
+    if (woken->hasTimeout_) {
+        woken->hasTimeout_ = false;
+        dropTimedWaiter(woken);
+    }
     woken->timedOut_ = false;
     if (observer_)
         observer_->onWake(running_, woken);

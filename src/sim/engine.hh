@@ -281,11 +281,52 @@ class Engine
         Cycles nextInterrupt = std::numeric_limits<Cycles>::max();
     };
 
+    /**
+     * One deterministic scheduling decision: the globally minimal
+     * runnable candidate, the earliest pending waitUntil() deadline,
+     * and the minimum candidate time over every *other* core (used to
+     * refresh the horizon incrementally after dispatch).
+     */
+    struct Selection {
+        Thread *thread = nullptr; //!< winning candidate (may be null)
+        Cycles time = std::numeric_limits<Cycles>::max();
+        std::size_t coreIdx = 0;
+        Cycles otherMin = std::numeric_limits<Cycles>::max();
+        Thread *timeoutThread = nullptr;
+        Cycles timeoutTime = std::numeric_limits<Cycles>::max();
+
+        /** True when a timeout expires before any candidate runs. */
+        bool expiresTimeout() const
+        {
+            return timeoutThread && timeoutTime < time;
+        }
+    };
+
     /** Move @p thread to Ready on its core, runnable at @p when. */
     void makeReady(Thread *thread, Cycles when);
 
-    /** Recompute the earliest pending event outside the running thread. */
-    void refreshNextEvent();
+    /** Compute the next scheduling decision (shared by the scheduler
+     *  loop and the re-pick-self fast path, so they cannot diverge). */
+    Selection selectNext() const;
+
+    /** Refresh nextEventTime_ after dispatching @p sel's winner:
+     *  only the winning core's candidate changed, so combine its
+     *  rescan with the mins already gathered during selection. */
+    void updateNextEventAfterDispatch(const Selection &sel);
+
+    /**
+     * Fast path for a running thread that just re-queued itself on
+     * its own core (advance/yield/sleep): when the scheduler's next
+     * decision would re-pick that same thread, complete the dispatch
+     * bookkeeping in place and skip the two fiber switches. The
+     * observer sees nothing either way — dispatch emits no events.
+     * @return true when the thread keeps running (caller returns),
+     *         false when it must switchOut() to the scheduler.
+     */
+    bool tryFastResume(Thread *self);
+
+    /** Drop @p thread from the timed-waiter list (timeout cleared). */
+    void dropTimedWaiter(Thread *thread);
 
     /** Candidate (time, thread) for the next thread a core would run. */
     bool nextCandidate(const Core &core, Cycles &time,
@@ -301,6 +342,10 @@ class Engine
     Rng rng_;
     std::vector<Core> cores_;
     std::vector<std::unique_ptr<Thread>> threads_;
+    /** Blocked threads with a pending waitUntil() deadline — the only
+     *  threads the scheduler must scan besides per-core ready queues
+     *  (ties resolve by spawn id, matching a spawn-order scan). */
+    std::vector<Thread *> timedWaiters_;
     Thread *running_ = nullptr;
     std::uint64_t nextThreadId_ = 0;
     std::uint64_t liveThreads_ = 0;

@@ -1,14 +1,18 @@
 /**
  * @file
- * Fiber implementation. makecontext only passes ints, so the fiber
- * pointer is split into two 32-bit halves for the trampoline.
+ * Fiber switching backends. The x86-64 fast path hand-rolls the
+ * context switch (callee-saved registers + FP control state + stack
+ * pointer, no kernel involvement); the ucontext fallback covers every
+ * other target. See fiber.hh for the rationale.
  */
 
 #include "sim/fiber.hh"
 
+#include <cstring>
+
 #include "support/logging.hh"
 
-// ASan tracks which stack the program runs on; swapcontext switches
+// ASan tracks which stack the program runs on; a context switch swaps
 // stacks behind its back, so every switch is announced with the
 // fiber-switch hooks (otherwise deep frames on the heap-allocated
 // fiber stacks are flagged as stack-buffer-overflows).
@@ -24,6 +28,189 @@
 #endif
 
 namespace hc::sim {
+
+#ifdef HC_FIBER_FAST
+
+// --- Fast backend: hand-rolled x86-64 System-V switch --------------
+//
+// hcFiberSwap(save, to) pushes the callee-saved registers and the FP
+// control state onto the current stack, publishes the resulting stack
+// pointer through *save, adopts `to` as its new stack pointer, pops
+// the same frame from it and returns — on the other context. A frame
+// looks like (low to high address, 64 bytes, 16-byte aligned):
+//
+//     +0   mxcsr (4 bytes)
+//     +4   x87 control word (2 bytes), 2 bytes pad
+//     +8   r15    +16 r14    +24 r13    +32 r12
+//     +40  rbx    +48 rbp
+//     +56  return address
+//
+// A brand-new fiber gets a hand-crafted frame whose return address is
+// hcFiberBoot and whose r12 slot carries the Fiber*; the first swap
+// into it "returns" into the boot shim, which moves r12 into rdi and
+// calls hcFiberEntry on the fiber's own stack. `endbr64` keeps both
+// symbols valid under -fcf-protection (the shim itself is only ever
+// reached via ret, which IBT does not police).
+
+extern "C" {
+void hcFiberSwap(void **save_sp, void *to_sp);
+void hcFiberBoot();
+void hcFiberEntry(hc::sim::Fiber *fiber);
+}
+
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl hcFiberSwap\n"
+    ".type hcFiberSwap, @function\n"
+    "hcFiberSwap:\n"
+    "  endbr64\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq $8, %rsp\n"
+    "  stmxcsr (%rsp)\n"
+    "  fnstcw 4(%rsp)\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  ldmxcsr (%rsp)\n"
+    "  fldcw 4(%rsp)\n"
+    "  addq $8, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  ret\n"
+    ".size hcFiberSwap, . - hcFiberSwap\n"
+    ".align 16\n"
+    ".globl hcFiberBoot\n"
+    ".type hcFiberBoot, @function\n"
+    "hcFiberBoot:\n"
+    "  endbr64\n"
+    "  xorl %ebp, %ebp\n"
+    "  movq %r12, %rdi\n"
+    "  call hcFiberEntry\n"
+    "  ud2\n"
+    ".size hcFiberBoot, . - hcFiberBoot\n");
+
+struct Fiber::EntryAccess {
+    static void enter(Fiber *fiber) { fiber->run(); }
+};
+
+extern "C" void
+hcFiberEntry(hc::sim::Fiber *fiber)
+{
+    Fiber::EntryAccess::enter(fiber);
+    panic("fiber resumed after finishing");
+}
+
+namespace {
+
+/** Byte offsets into a switch frame (layout comment above). */
+constexpr std::size_t kFrameSize = 64;
+constexpr std::size_t kFrameMxcsr = 0;
+constexpr std::size_t kFrameFpucw = 4;
+constexpr std::size_t kFrameR12 = 32;
+constexpr std::size_t kFrameRetAddr = 56;
+
+} // anonymous namespace
+
+Fiber::Fiber(Body body, std::size_t stack_size)
+    : body_(std::move(body)), stack_(stack_size)
+{
+    hc_assert(body_);
+    hc_assert(stack_size >= 16 * 1024);
+
+    // Craft the initial frame at the 16-aligned top of the stack:
+    // after the first swap's `ret` pops hcFiberBoot's address the
+    // stack pointer is 16-aligned again, so the shim's `call` gives
+    // hcFiberEntry the standard System-V entry alignment.
+    auto top = reinterpret_cast<std::uintptr_t>(stack_.data()) +
+               stack_.size();
+    top &= ~std::uintptr_t{15};
+    auto *frame = reinterpret_cast<std::uint8_t *>(top) - kFrameSize;
+    std::memset(frame, 0, kFrameSize);
+
+    const auto boot = reinterpret_cast<std::uintptr_t>(&hcFiberBoot);
+    std::memcpy(frame + kFrameRetAddr, &boot, sizeof(boot));
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    std::memcpy(frame + kFrameR12, &self, sizeof(self));
+
+    // Seed the FP control slots with the caller's current state so
+    // the fiber starts from the same rounding/precision configuration
+    // it would inherit from a plain function call.
+    std::uint32_t mxcsr;
+    std::uint16_t fpucw;
+    __asm__ volatile("stmxcsr %0" : "=m"(mxcsr));
+    __asm__ volatile("fnstcw %0" : "=m"(fpucw));
+    std::memcpy(frame + kFrameMxcsr, &mxcsr, sizeof(mxcsr));
+    std::memcpy(frame + kFrameFpucw, &fpucw, sizeof(fpucw));
+
+    fiberSp_ = frame;
+    started_ = true;
+}
+
+void
+Fiber::run()
+{
+#ifdef HC_ASAN_FIBERS
+    // First entry: complete the switch the resumer started and learn
+    // the host stack so switches back can announce their destination.
+    __sanitizer_finish_switch_fiber(nullptr, &asanHostBottom_,
+                                    &asanHostSize_);
+#endif
+    body_();
+    finished_ = true;
+#ifdef HC_ASAN_FIBERS
+    // Null save slot: the fiber is exiting, drop its fake stack.
+    __sanitizer_start_switch_fiber(nullptr, asanHostBottom_,
+                                   asanHostSize_);
+#endif
+    // Final hop back to whoever switched us in last; the frame saved
+    // through fiberSp_ is never resumed.
+    hcFiberSwap(&fiberSp_, hostSp_);
+}
+
+void
+Fiber::switchTo()
+{
+    hc_assert(started_ && !finished_);
+#ifdef HC_ASAN_FIBERS
+    void *fake = nullptr;
+    __sanitizer_start_switch_fiber(&fake, stack_.data(), stack_.size());
+#endif
+    hcFiberSwap(&hostSp_, fiberSp_);
+#ifdef HC_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
+}
+
+void
+Fiber::switchBack()
+{
+    hc_assert(!finished_);
+#ifdef HC_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&asanFiberFake_, asanHostBottom_,
+                                   asanHostSize_);
+#endif
+    hcFiberSwap(&fiberSp_, hostSp_);
+#ifdef HC_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(asanFiberFake_, &asanHostBottom_,
+                                    &asanHostSize_);
+#endif
+}
+
+#else // !HC_FIBER_FAST
+
+// --- Portable backend: ucontext ------------------------------------
+//
+// makecontext only passes ints, so the fiber pointer is split into
+// two 32-bit halves for the trampoline.
 
 Fiber::Fiber(Body body, std::size_t stack_size)
     : body_(std::move(body)), stack_(stack_size)
@@ -102,5 +289,7 @@ Fiber::switchBack()
                                     &asanHostSize_);
 #endif
 }
+
+#endif // HC_FIBER_FAST
 
 } // namespace hc::sim

@@ -1,17 +1,38 @@
 /**
  * @file
- * Stackful cooperative fibers built on ucontext.
+ * Stackful cooperative fibers.
  *
  * Every simulated thread (enclave worker, HotCalls responder, client
  * load generator, ...) is a fiber. Fibers let application code be
  * written as straight-line sequential C++ while the simulation engine
  * interleaves them deterministically in virtual-time order.
+ *
+ * Two switching backends exist behind the same interface:
+ *
+ *  - a hand-rolled x86-64 System-V switch (the default on that
+ *    target): saves the callee-saved registers, the FP control state
+ *    (mxcsr, x87 cw) and the stack pointer — ~20 instructions and no
+ *    kernel involvement. This matters because the engine switches
+ *    fibers at every real interleaving point (each HotCall poll), and
+ *    glibc's swapcontext performs two rt_sigprocmask system calls per
+ *    switch, which dominated the simulator's host profile;
+ *  - ucontext, kept as the portable fallback (any POSIX target, or
+ *    -DHC_FIBER_UCONTEXT to force it, e.g. to cross-check a
+ *    fiber-layer bug).
+ *
+ * Both backends produce identical scheduling (the engine decides who
+ * runs; the fiber layer only transfers control), so simulated results
+ * are independent of the backend.
  */
 
 #ifndef HC_SIM_FIBER_HH
 #define HC_SIM_FIBER_HH
 
+#if defined(__x86_64__) && defined(__ELF__) && !defined(HC_FIBER_UCONTEXT)
+#define HC_FIBER_FAST 1
+#else
 #include <ucontext.h>
+#endif
 
 #include <cstdint>
 #include <functional>
@@ -58,14 +79,28 @@ class Fiber
     /** @return true once the fiber body has returned. */
     bool finished() const { return finished_; }
 
+#ifdef HC_FIBER_FAST
+    /** fiber.cc-local bridge from the asm boot shim into run(). */
+    struct EntryAccess;
+#endif
+
   private:
+#ifndef HC_FIBER_FAST
     static void trampoline(unsigned int hi, unsigned int lo);
+#endif
     void run();
 
     Body body_;
     std::vector<std::uint8_t> stack_;
+#ifdef HC_FIBER_FAST
+    /** Saved stack pointer of the suspended fiber. */
+    void *fiberSp_ = nullptr;
+    /** Saved stack pointer of whoever last resumed the fiber. */
+    void *hostSp_ = nullptr;
+#else
     ucontext_t context_;
     ucontext_t returnContext_;
+#endif
     bool started_ = false;
     bool finished_ = false;
 
