@@ -34,6 +34,7 @@ portConfig(const AppRunConfig &run,
     port::PortConfig config;
     config.mode = run.mode;
     config.marshal.noRedundantZeroing = run.noRedundantZeroing;
+    config.fastPath = run.fastPath;
     config.hotOcallCore = 2;
     config.hotEcallCore = 1;
     // Core 5 is unused by every app testbed (server 0, client 4,
@@ -75,12 +76,25 @@ standardConfigs(double measure_sec)
     return configs;
 }
 
+AppRunConfig
+fastPathConfig(double measure_sec)
+{
+    AppRunConfig config;
+    config.mode = port::Mode::SgxHotCalls;
+    config.noRedundantZeroing = true;
+    config.fastPath = 1;
+    config.measureSec = measure_sec;
+    return config;
+}
+
 std::string
 configLabel(const AppRunConfig &config)
 {
     std::string label = port::modeName(config.mode);
     if (config.noRedundantZeroing)
         label += "+nrz";
+    if (config.fastPath > 0)
+        label += "+fastpath";
     return label;
 }
 

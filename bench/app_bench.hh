@@ -26,6 +26,10 @@ namespace hc::bench {
 struct AppRunConfig {
     port::Mode mode = port::Mode::Native;
     bool noRedundantZeroing = false;
+    /** FastPath data plane for the hot channels (0/1, forwarded to
+     *  PortConfig). Defaults to 0 — the paper bars measure the legacy
+     *  data plane and stay bit-identical regardless of HC_FASTPATH. */
+    int fastPath = 0;
     double warmupSec = 0.04;
     double measureSec = 0.25;
     std::uint64_t seed = 7;
@@ -47,6 +51,10 @@ struct AppRunResult {
 
 /** The four standard configurations, in paper order. */
 std::vector<AppRunConfig> standardConfigs(double measure_sec = 0.25);
+
+/** The beyond-paper bar: sgx+hotcalls+nrz with the FastPath data
+ *  plane (staging arenas + inline payloads + cached call plans). */
+AppRunConfig fastPathConfig(double measure_sec = 0.25);
 
 /** Label for a configuration. */
 std::string configLabel(const AppRunConfig &config);

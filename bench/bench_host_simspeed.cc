@@ -202,4 +202,22 @@ BM_SimEncryptedBufferSweep(benchmark::State &state)
 }
 BENCHMARK(BM_SimEncryptedBufferSweep)->Arg(2048)->Arg(32768)->Arg(262144);
 
-BENCHMARK_MAIN();
+// Stamp the build type of *this* binary (the system benchmark
+// library's own library_build_type says how the .so was compiled,
+// which is useless for catching a debug-built simulator). The
+// committed baseline was once recorded from a debug build and hid a
+// 5x slowdown; scripts/check_simspeed.py refuses anything but
+// hc_build_type == "release".
+int main(int argc, char **argv) {
+#ifdef NDEBUG
+    benchmark::AddCustomContext("hc_build_type", "release");
+#else
+    benchmark::AddCustomContext("hc_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -4,9 +4,14 @@
  * single-line HotCall under concurrent requesters.
  *
  * Sweeps requester count x slot count x responder-pool size on the
- * HotEcall direction and reports aggregate throughput, batching and
- * fallback behaviour. A final phase demonstrates the adaptive pool:
- * a 4-requester burst wakes the second responder (scale-up), then a
+ * HotEcall direction as google-benchmark cases (one simulated window
+ * per case, Iterations(1)); every case reports
+ *   sim_calls_per_s  aggregate completed calls per simulated second
+ *   fallback_rate    fraction of calls that timed out to the SDK path
+ *   mean_batch       mean slots served per responder batch
+ * as counters, so the JSON output (--benchmark_out) is machine
+ * comparable. A final phase demonstrates the adaptive pool: a
+ * 4-requester burst wakes the second responder (scale-up), then a
  * single requester with think time lets the occupancy window park it
  * again (scale-down).
  *
@@ -24,6 +29,8 @@
 #include <functional>
 #include <vector>
 
+#include <benchmark/benchmark.h>
+
 #include "hotcalls/hotqueue.hh"
 
 using namespace hc;
@@ -37,11 +44,24 @@ Cycles g_measure_window = 2'000'000; // --window=N overrides
 
 struct RunResult {
     double callsPerSec = 0;
+    std::uint64_t calls = 0;
     std::uint64_t fallbacks = 0;
     double meanBatch = 0;
     std::uint64_t scaleUps = 0;
     std::uint64_t scaleDowns = 0;
+
+    double fallbackRate() const
+    {
+        const double total =
+            static_cast<double>(calls + fallbacks);
+        return total > 0 ? static_cast<double>(fallbacks) / total
+                         : 0.0;
+    }
 };
+
+/** The comparison quoted after the sweep (4 req, 4 slots, pool 2). */
+double g_base4 = 0;
+double g_queue4 = 0;
 
 /** Join @p thread from the driver fiber, charging wait time. */
 void
@@ -109,6 +129,7 @@ runHotQueue(int requesters, int slots, int pool)
         queue.start();
         result.callsPerSec = driveChannel(bed, queue, requesters);
         const auto &stats = queue.stats();
+        result.calls = stats.calls;
         result.fallbacks = stats.fallbacks;
         result.meanBatch = stats.batchSize.mean();
         result.scaleUps = stats.scaleUps;
@@ -134,6 +155,7 @@ runBaseline(int requesters)
     engine.spawn("driver", 7, [&] {
         hot.start();
         result.callsPerSec = driveChannel(bed, hot, requesters);
+        result.calls = hot.stats().calls;
         result.fallbacks = hot.stats().fallbacks;
         hot.stop();
         engine.stop();
@@ -141,6 +163,54 @@ runBaseline(int requesters)
     engine.run();
     return result;
 }
+
+void
+setCounters(benchmark::State &state, const RunResult &result)
+{
+    state.counters["sim_calls_per_s"] = result.callsPerSec;
+    state.counters["fallback_rate"] = result.fallbackRate();
+    state.counters["mean_batch"] = result.meanBatch;
+}
+
+void
+BM_SingleLineHotCall(benchmark::State &state)
+{
+    const int requesters = static_cast<int>(state.range(0));
+    RunResult result;
+    for (auto _ : state)
+        result = runBaseline(requesters);
+    setCounters(state, result);
+    if (requesters == 4)
+        g_base4 = result.callsPerSec;
+}
+
+void
+BM_HotQueue(benchmark::State &state)
+{
+    const int requesters = static_cast<int>(state.range(0));
+    const int slots = static_cast<int>(state.range(1));
+    const int pool = static_cast<int>(state.range(2));
+    RunResult result;
+    for (auto _ : state)
+        result = runHotQueue(requesters, slots, pool);
+    setCounters(state, result);
+    if (requesters == 4 && slots == 4 && pool == 2)
+        g_queue4 = result.callsPerSec;
+}
+
+BENCHMARK(BM_SingleLineHotCall)
+    ->ArgNames({"req"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_HotQueue)
+    ->ArgNames({"req", "slots", "pool"})
+    ->ArgsProduct({{1, 2, 4}, {2, 4, 8}, {1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * The adaptive-pool demonstration: burst with 4 requesters (waking
@@ -209,53 +279,33 @@ runAdaptive()
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
+    // Strip --window=N (ours) before google-benchmark sees the
+    // arguments; it rejects flags it does not know.
+    std::vector<char *> passthrough;
+    for (int i = 0; i < argc; ++i) {
         if (std::strncmp(argv[i], "--window=", 9) == 0)
-            g_measure_window = static_cast<Cycles>(
-                std::atoll(argv[i] + 9));
+            g_measure_window =
+                static_cast<Cycles>(std::atoll(argv[i] + 9));
+        else
+            passthrough.push_back(argv[i]);
     }
+    int bench_argc = static_cast<int>(passthrough.size());
+
     std::printf("HotQueue scaling: requester count x slot count x "
                 "responder pool\n(HotEcall direction, ecall_empty, "
                 "%.1fms simulated window per point)\n\n",
                 cyclesToMillis(g_measure_window));
 
-    TextTable table({"channel", "req", "slots", "pool", "calls/s",
-                     "mean batch", "fallbacks", "scale +/-"});
-
-    double base4 = 0;
-    for (int requesters : {1, 2, 4}) {
-        const RunResult r = runBaseline(requesters);
-        if (requesters == 4)
-            base4 = r.callsPerSec;
-        table.addRow({"hotcall (1-line)", std::to_string(requesters),
-                      "1", "1", TextTable::num(r.callsPerSec, 0), "-",
-                      std::to_string(r.fallbacks), "-"});
-    }
-
-    double queue4 = 0;
-    for (int requesters : {1, 2, 4}) {
-        for (int slots : {2, 4, 8}) {
-            for (int pool : {1, 2}) {
-                const RunResult r =
-                    runHotQueue(requesters, slots, pool);
-                if (requesters == 4 && slots == 4 && pool == 2)
-                    queue4 = r.callsPerSec;
-                table.addRow(
-                    {"hotqueue", std::to_string(requesters),
-                     std::to_string(slots), std::to_string(pool),
-                     TextTable::num(r.callsPerSec, 0),
-                     TextTable::num(r.meanBatch, 2),
-                     std::to_string(r.fallbacks),
-                     std::to_string(r.scaleUps) + "/" +
-                         std::to_string(r.scaleDowns)});
-            }
-        }
-    }
-    table.print();
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
 
     std::printf("\n4 requesters, 4 slots, pool 2 vs single-line "
                 "hotcall: %.2fx\n\n",
-                base4 > 0 ? queue4 / base4 : 0.0);
+                g_base4 > 0 ? g_queue4 / g_base4 : 0.0);
 
     runAdaptive();
     return 0;

@@ -47,6 +47,8 @@ args_for() {
         [ "$QUICK" = 1 ] && echo "--idle-seconds=0.0005" || echo "" ;;
       bench_ablation_mee_cache)
         [ "$QUICK" = 1 ] && echo "--runs=30" || echo "" ;;
+      bench_ablation_fastpath)
+        [ "$QUICK" = 1 ] && echo "--runs=200" || echo "" ;;
       bench_ablation_speculative_mee)
         [ "$QUICK" = 1 ] && echo "--runs=40" || echo "" ;;
       bench_hotqueue_scaling)

@@ -10,6 +10,14 @@ in only one file are reported but do not fail the check (the set
 changes when benchmarks are added), except when the current file has
 none in common with the baseline, which is always an error.
 
+Also refuses to compare files recorded from non-release builds.
+bench_host_simspeed stamps context.hc_build_type ("release" /
+"debug") from its own NDEBUG; a debug-build baseline makes every
+release run look 3-10x "faster" while hiding real regressions. Both
+files must say "release". (google-benchmark's own
+context.library_build_type only describes how the benchmark .so was
+compiled, so it is ignored.)
+
 Stdlib only — runs on a bare CI image.
 """
 
@@ -17,9 +25,11 @@ import json
 import sys
 
 
-def rates(path):
+def load(path):
     with open(path) as f:
         data = json.load(f)
+    build_type = data.get("context", {}).get("hc_build_type",
+                                             "unstamped")
     out = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -27,7 +37,19 @@ def rates(path):
         rate = bench.get("items_per_second")
         if rate:
             out[bench["name"]] = rate
-    return out
+    return build_type, out
+
+
+def check_build_types(base_type, cur_type):
+    ok = True
+    for label, build_type in (("baseline", base_type),
+                              ("current", cur_type)):
+        if build_type != "release":
+            print(f"{label} was recorded from a '{build_type}' build "
+                  "(context.hc_build_type); simspeed numbers are only "
+                  "meaningful from release builds", file=sys.stderr)
+            ok = False
+    return ok
 
 
 def main(argv):
@@ -42,8 +64,10 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
 
-    base = rates(paths[0])
-    cur = rates(paths[1])
+    base_type, base = load(paths[0])
+    cur_type, cur = load(paths[1])
+    if not check_build_types(base_type, cur_type):
+        return 1
     common = sorted(set(base) & set(cur))
     if not common:
         print("no common benchmarks between baseline and current",

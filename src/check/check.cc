@@ -429,6 +429,25 @@ HotQueueProtocol::onHarvest(int slot)
 }
 
 void
+HotQueueProtocol::onArenaRecycle(int slot)
+{
+    SlotShadow &shadow = slots_[static_cast<std::size_t>(slot)];
+    const std::string current = check_.currentThreadName();
+    const bool legal =
+        (shadow.state == State::Publishing && shadow.claimer == current) ||
+        (shadow.state == State::Serving && shadow.server == current);
+    if (!legal) {
+        check_.reportProtocol(
+            "hotqueue '" + name_ + "' slot " + std::to_string(slot) +
+            ": staging arena recycled while " +
+            stateName(shadow.state) + " by thread '" + current +
+            "' (legal only for the claimer while Publishing or the "
+            "server while Serving) at cycle " +
+            std::to_string(check_.engine().now()));
+    }
+}
+
+void
 HotQueueProtocol::onCursors(std::uint64_t head, std::uint64_t tail)
 {
     if (tail < head ||

@@ -253,6 +253,18 @@ class HotQueueProtocol
     void onComplete(int slot); //!< Serving -> Done, by the grabber
     void onHarvest(int slot);  //!< Done -> Free, by the claimer
 
+    /**
+     * The slot's FastPath staging arena is about to be recycled
+     * (bump pointer reset: every piece of the previous call on this
+     * slot is released). Legal only for the party that owns the slot
+     * at that point: the claimer while Publishing (ocall staging) or
+     * the server while Serving (ecall staging). Anything else — in
+     * particular recycling while a responder is still Serving from
+     * the arena, or after the slot was already released — would let a
+     * new request scribble over an in-flight call's payload.
+     */
+    void onArenaRecycle(int slot);
+
     /** Validate head <= tail <= head + numSlots. */
     void onCursors(std::uint64_t head, std::uint64_t tail);
 

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "support/logging.hh"
 
@@ -28,6 +29,8 @@ StagedCall::data(int index)
     auto &slot = slots_[static_cast<std::size_t>(index)];
     if (slot.staging)
         return slot.staging->data();
+    if (slot.fastData)
+        return slot.fastData;
     return args_[static_cast<std::size_t>(index)].data;
 }
 
@@ -47,7 +50,24 @@ StagedCall::addr(int index) const
     const auto &slot = slots_[static_cast<std::size_t>(index)];
     if (slot.staging)
         return slot.staging->addr();
+    if (slot.fastData)
+        return slot.fastAddr;
     return args_[static_cast<std::size_t>(index)].addr;
+}
+
+void
+StagedCall::reset()
+{
+    fn_ = nullptr;
+    plan_ = nullptr;
+    retval_ = 0;
+    finished_ = false;
+    for (auto &slot : slots_) {
+        slot.staging.reset();
+        slot.fastData = nullptr;
+        slot.fastAddr = 0;
+        slot.bytes = 0;
+    }
 }
 
 Marshaller::Marshaller(mem::Machine &machine,
@@ -100,7 +120,18 @@ Marshaller::resolveBytes(const EdgeFunction &fn, const Args &args,
         // user_check without a size: no copies are made.
         return 0;
     }
-    return param.sizeIsCount ? units * param.elementSize() : units;
+    if (!param.sizeIsCount)
+        return units;
+    // count= scaling: a caller-controlled count must not wrap the
+    // 64-bit byte length (a wrapped small value would sail through
+    // the capacity check and under-copy).
+    const std::uint64_t elem = param.elementSize();
+    if (elem != 0 &&
+        units > std::numeric_limits<std::uint64_t>::max() / elem) {
+        throw EdlError(fn.name + ": parameter '" + param.name +
+                       "' count*size overflows a 64-bit byte length");
+    }
+    return units * elem;
 }
 
 void
@@ -310,6 +341,293 @@ Marshaller::finishOcall(StagedCall &call)
         slot.staging.reset();
     }
     charge(cost);
+}
+
+// ----------------------------------------------------------------------
+// FastPath data plane.
+// ----------------------------------------------------------------------
+
+const CallPlan &
+Marshaller::plan(const EdgeFunction &fn)
+{
+    auto it = plans_.find(&fn);
+    if (it != plans_.end())
+        return it->second;
+
+    CallPlan plan;
+    plan.fn = &fn;
+    plan.ecall = fn.trusted;
+    plan.params.reserve(fn.params.size());
+    for (const auto &param : fn.params) {
+        ParamPlan pp;
+        pp.direction = param.direction;
+        pp.isPointer = param.isPointer();
+        pp.isString = param.isString;
+        pp.noCopy = param.direction == Direction::UserCheck &&
+                    !param.isString;
+        pp.copyOut = param.direction == Direction::Out ||
+                     param.direction == Direction::InOut;
+        pp.sizeParamIndex = param.sizeParamIndex;
+        pp.elemBytes = param.sizeIsCount ? param.elementSize() : 1;
+        if (pp.isPointer && !pp.isString && pp.sizeParamIndex < 0 &&
+            param.sizeLiteral >= 0) {
+            // Literal size expression: resolve it once, here.
+            std::uint64_t units =
+                static_cast<std::uint64_t>(param.sizeLiteral);
+            if (pp.elemBytes != 0 &&
+                units > std::numeric_limits<std::uint64_t>::max() /
+                            pp.elemBytes) {
+                throw EdlError(fn.name + ": parameter '" + param.name +
+                               "' count*size overflows a 64-bit byte "
+                               "length");
+            }
+            pp.fixedBytes = units * pp.elemBytes;
+        }
+        plan.anyCopy |= pp.isPointer && !pp.noCopy;
+        plan.params.push_back(pp);
+    }
+    return plans_.emplace(&fn, std::move(plan)).first->second;
+}
+
+std::uint64_t
+Marshaller::planBytes(const CallPlan &plan, std::size_t index,
+                      const Args &args) const
+{
+    const ParamPlan &pp = plan.params[index];
+    const Arg &arg = args[index];
+    if (!pp.isPointer || arg.data == nullptr)
+        return 0;
+
+    const auto &param = plan.fn->params[index];
+    if (pp.isString) {
+        // [string]: the NUL scan is inherently per-call.
+        const auto *p =
+            static_cast<const char *>(static_cast<void *>(arg.data));
+        std::uint64_t n = 0;
+        while (n < arg.capacity && p[n] != '\0')
+            ++n;
+        if (n == arg.capacity)
+            throw EdlError("[string] parameter '" + param.name +
+                           "' is not NUL-terminated within its buffer");
+        return n + 1;
+    }
+
+    if (pp.sizeParamIndex < 0)
+        return pp.fixedBytes; // literal (or unsized user_check): cached
+    const std::uint64_t units =
+        args[static_cast<std::size_t>(pp.sizeParamIndex)].scalar;
+    if (pp.elemBytes <= 1)
+        return units;
+    if (units >
+        std::numeric_limits<std::uint64_t>::max() / pp.elemBytes) {
+        throw EdlError(plan.fn->name + ": parameter '" + param.name +
+                       "' count*size overflows a 64-bit byte length");
+    }
+    return units * pp.elemBytes;
+}
+
+void
+Marshaller::validatePlan(const CallPlan &plan, const Args &args) const
+{
+    const auto &fn = *plan.fn;
+    if (args.size() != plan.params.size()) {
+        throw EdlError(fn.name + ": expected " +
+                       std::to_string(plan.params.size()) +
+                       " arguments, got " + std::to_string(args.size()));
+    }
+    for (std::size_t i = 0; i < plan.params.size(); ++i) {
+        const ParamPlan &pp = plan.params[i];
+        const Arg &arg = args[i];
+        if (!pp.isPointer || pp.noCopy)
+            continue;
+        if (arg.data == nullptr)
+            continue; // NULL pointers marshal as NULL
+        const std::uint64_t bytes = planBytes(plan, i, args);
+        const auto &param = fn.params[i];
+        if (bytes > arg.capacity) {
+            throw EdlError(fn.name + ": parameter '" + param.name +
+                           "' declares " + std::to_string(bytes) +
+                           " bytes but the buffer holds only " +
+                           std::to_string(arg.capacity));
+        }
+        // Same boundary checks as the legacy path (Section 3.2.1):
+        // the fast plane removes allocations, not security checks.
+        const mem::Domain required =
+            plan.ecall ? mem::Domain::Untrusted : mem::Domain::Epc;
+        if (!machine_.space().rangeInDomain(arg.addr, bytes, required)) {
+            throw EdlError(fn.name + ": parameter '" + param.name +
+                           "' crosses the enclave boundary (" +
+                           directionName(param.direction) +
+                           " buffer must be entirely " +
+                           (plan.ecall ? "outside" : "inside") +
+                           " the enclave)");
+        }
+    }
+}
+
+void
+Marshaller::stageFast(const CallPlan &plan, const Args &args,
+                      FastStaging &staging, StagedCall &call)
+{
+    validatePlan(plan, args);
+
+    // Recycle the channel staging: every piece of the previous call
+    // on this slot is released at once. The owning channel reports
+    // onArenaRecycle to SimCheck before calling in here.
+    if (staging.inlineArena)
+        staging.inlineArena->reset();
+    if (staging.spill)
+        staging.spill->reset();
+    staging.usedInline = false;
+    staging.usedSpill = false;
+    staging.usedHeap = false;
+
+    call.reset();
+    call.fn_ = plan.fn;
+    call.plan_ = &plan;
+    call.args_ = args;
+    call.slots_.resize(args.size());
+
+    const bool ecall = plan.ecall;
+    double cost = 0.0;
+    bool any_staged = false;
+    for (std::size_t i = 0; i < plan.params.size(); ++i) {
+        const ParamPlan &pp = plan.params[i];
+        auto &slot = call.slots_[i];
+        const Arg &arg = args[i];
+        if (!pp.isPointer || arg.data == nullptr)
+            continue;
+        slot.bytes = planBytes(plan, i, args);
+        if (pp.noCopy || slot.bytes == 0)
+            continue;
+        any_staged = true;
+
+        // Placement: inline in the slot's own lines first, then the
+        // per-slot spill arena, and only past both a fresh heap
+        // buffer — the legacy staging path with its legacy costs.
+        mem::StagingArena::Piece piece;
+        bool fast = false;
+        if (staging.inlineArena &&
+            staging.inlineArena->tryAlloc(slot.bytes, piece)) {
+            fast = true;
+            staging.usedInline = true;
+        } else if (staging.spill &&
+                   staging.spill->tryAlloc(slot.bytes, piece)) {
+            fast = true;
+            staging.usedSpill = true;
+        }
+        if (fast) {
+            slot.fastData = piece.data;
+            slot.fastAddr = piece.addr;
+        } else {
+            slot.staging = std::make_unique<mem::Buffer>(
+                machine_,
+                ecall ? mem::Domain::Epc : mem::Domain::Untrusted,
+                slot.bytes);
+            staging.usedHeap = true;
+            cost += static_cast<double>(ecall ? params_.ecallAllocFixed
+                                              : params_.ocallAllocFixed);
+        }
+        std::uint8_t *dst = fast ? slot.fastData : slot.staging->data();
+
+        switch (pp.direction) {
+          case Direction::In:
+          case Direction::InOut:
+          case Direction::UserCheck: // [string]
+            std::memcpy(dst, arg.data, slot.bytes);
+            cost += static_cast<double>(slot.bytes) *
+                    (fast ? params_.fastpathCopyPerByte
+                          : (ecall ? params_.ecallCopyInPerByte
+                                   : params_.ocallCopyToPerByte));
+            break;
+          case Direction::Out: {
+            // Zeroing policy: enclave-side `out` staging is always
+            // scrubbed — arena recycling makes the previous call's
+            // payload exactly the stale data the zeroing contains.
+            // Untrusted `out` staging keeps the NRZ switch (zeroing
+            // it never had security value). The fast plane always
+            // uses the word-wise rate; heap spills follow the
+            // configured legacy rate.
+            const bool zero = ecall || !options_.noRedundantZeroing;
+            if (zero) {
+                std::memset(dst, 0, slot.bytes);
+                double per_byte = params_.memsetWordWisePerByte;
+                if (!fast && !options_.wordWiseMemset) {
+                    per_byte = ecall ? params_.ecallMemsetPerByte
+                                     : params_.ocallMemsetPerByte;
+                }
+                cost += static_cast<double>(slot.bytes) * per_byte;
+            }
+            break;
+          }
+        }
+    }
+    if (any_staged)
+        cost += static_cast<double>(params_.fastpathStageFixed);
+    charge(cost);
+}
+
+void
+Marshaller::finishFast(StagedCall &call)
+{
+    hc_assert(!call.finished_);
+    hc_assert(call.plan_);
+    call.finished_ = true;
+
+    const CallPlan &plan = *call.plan_;
+    const bool ecall = plan.ecall;
+    double cost = 0.0;
+    for (std::size_t i = 0; i < plan.params.size(); ++i) {
+        const ParamPlan &pp = plan.params[i];
+        auto &slot = call.slots_[i];
+        Arg &arg = call.args_[i];
+        if ((!slot.staging && !slot.fastData) || arg.data == nullptr)
+            continue;
+        if (pp.copyOut) {
+            const std::uint8_t *src =
+                slot.staging ? slot.staging->data() : slot.fastData;
+            std::memcpy(arg.data, src, slot.bytes);
+            cost += static_cast<double>(slot.bytes) *
+                    (slot.staging
+                         ? (ecall ? params_.ecallCopyOutPerByte
+                                  : params_.ocallCopyBackPerByte)
+                         : params_.fastpathCopyPerByte);
+        }
+        slot.staging.reset();
+        slot.fastData = nullptr;
+        slot.fastAddr = 0;
+    }
+    charge(cost);
+}
+
+void
+Marshaller::stageOcallFast(const CallPlan &plan, const Args &args,
+                           FastStaging &staging, StagedCall &call)
+{
+    hc_assert(!plan.fn->trusted);
+    stageFast(plan, args, staging, call);
+}
+
+void
+Marshaller::finishOcallFast(StagedCall &call)
+{
+    hc_assert(call.plan_ && !call.plan_->ecall);
+    finishFast(call);
+}
+
+void
+Marshaller::stageEcallFast(const CallPlan &plan, const Args &args,
+                           FastStaging &staging, StagedCall &call)
+{
+    hc_assert(plan.fn->trusted);
+    stageFast(plan, args, staging, call);
+}
+
+void
+Marshaller::finishEcallFast(StagedCall &call)
+{
+    hc_assert(call.plan_ && call.plan_->ecall);
+    finishFast(call);
 }
 
 } // namespace hc::edl

@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "edl/edl_spec.hh"
+#include "mem/arena.hh"
 #include "mem/buffer.hh"
 #include "mem/machine.hh"
 #include "sgx/sgx_cost_params.hh"
@@ -72,6 +74,61 @@ struct Arg {
 using Args = std::vector<Arg>;
 
 /**
+ * One precomputed marshalling step of a FastPath call plan: the
+ * direction, staging policy, and size expression of one parameter,
+ * resolved from the EDL spec once at plan-build time. Only a runtime
+ * length lookup (sizeParamIndex) or a [string] scan remains per call.
+ */
+struct ParamPlan {
+    Direction direction = Direction::UserCheck;
+    bool isPointer = false;
+    bool isString = false;
+    /** Plain user_check (no [string]): zero copy, never staged. */
+    bool noCopy = false;
+    /** `out`/`inout`: staging is copied back at finish time. */
+    bool copyOut = false;
+    /** size=/count= bound to a parameter: its index, or -1. */
+    int sizeParamIndex = -1;
+    /** Resolved byte length when the size is a literal (index < 0). */
+    std::uint64_t fixedBytes = 0;
+    /** count= element scaling factor (1 for size= and strings). */
+    std::uint64_t elemBytes = 1;
+};
+
+/**
+ * A cached per-EdgeFunction marshalling plan. Built once (the
+ * EnclaveRuntime builds every plan at registration) and looked up by
+ * function identity afterwards, so the fast call path never re-walks
+ * the EDL spec: per-call work drops to bounds checks and copies.
+ */
+struct CallPlan {
+    const EdgeFunction *fn = nullptr;
+    bool ecall = false;
+    /** Any parameter can ever touch staging (false for scalar-only
+     *  functions, whose fast path charges nothing at all). */
+    bool anyCopy = false;
+    std::vector<ParamPlan> params;
+};
+
+/**
+ * The staging resources a channel slot lends to the fast plane:
+ * recycled arenas instead of per-call allocations. Payloads are
+ * placed inline first (the slot's own cache lines), then in the
+ * per-slot spill arena, and only past both into a fresh heap buffer
+ * (the legacy staging path, with its legacy costs).
+ */
+struct FastStaging {
+    mem::StagingArena *inlineArena = nullptr; //!< slot's own lines
+    mem::StagingArena *spill = nullptr;       //!< per-slot spill arena
+    // Placement outcome of the last stage (channel statistics, and
+    // the spill flag also tells the channel to price arena-line
+    // coherence for this call).
+    bool usedInline = false;
+    bool usedSpill = false;
+    bool usedHeap = false;
+};
+
+/**
  * A staged edge call: what the callee-side wrapper hands to the
  * implementation function. Pointer parameters resolve to the staging
  * copy (or, for user_check, the caller's memory).
@@ -110,11 +167,19 @@ class StagedCall
     friend class Marshaller;
 
     struct Slot {
-        std::unique_ptr<mem::Buffer> staging; //!< null for user_check
+        std::unique_ptr<mem::Buffer> staging; //!< heap staging (legacy
+                                              //!< path or arena spill)
+        std::uint8_t *fastData = nullptr;     //!< arena staging bytes
+        Addr fastAddr = 0;                    //!< arena staging addr
         std::uint64_t bytes = 0;              //!< resolved length
     };
 
+    /** Drop per-call state but keep the slot vector's capacity, so a
+     *  channel-owned StagedCall is recycled without reallocation. */
+    void reset();
+
     const EdgeFunction *fn_ = nullptr;
+    const CallPlan *plan_ = nullptr; //!< set by the fast entry points
     Args args_;
     std::vector<Slot> slots_;
     std::uint64_t retval_ = 0;
@@ -151,6 +216,47 @@ class Marshaller
     /** Copy-back phase after the untrusted function returned. */
     void finishOcall(StagedCall &call);
 
+    // ------------------------------------------------------------------
+    // FastPath data plane: cached plans + recycled channel staging.
+    // ------------------------------------------------------------------
+
+    /**
+     * @return the cached marshalling plan of @p fn, built on first
+     * use (the EnclaveRuntime requests every plan at registration, so
+     * hot calls always hit the cache). The reference stays valid for
+     * the Marshaller's lifetime; @p fn must outlive it.
+     */
+    const CallPlan &plan(const EdgeFunction &fn);
+
+    /**
+     * FastPath ocall staging: validation (bounds + boundary checks)
+     * stays, but staging goes into the recycled channel arenas of
+     * @p staging and the copy runs at the fast per-byte rate. The
+     * channel-owned @p call is reset and refilled in place. The
+     * channel must only recycle @p staging for a slot it owns
+     * (SimCheck's HotQueueProtocol::onArenaRecycle enforces this).
+     */
+    void stageOcallFast(const CallPlan &plan, const Args &args,
+                        FastStaging &staging, StagedCall &call);
+
+    /**
+     * FastPath copy-back. Unlike the legacy finish, this MUST run
+     * before the slot is released: the arenas it reads are recycled
+     * by the slot's next claimant.
+     */
+    void finishOcallFast(StagedCall &call);
+
+    /** FastPath ecall staging (responder side, inside the enclave).
+     *  `out` staging in EPC arenas is always zeroed — recycling makes
+     *  the previous call's payload the stale data that the zeroing
+     *  exists to contain — but at the word-wise rate: a fast plane
+     *  has no reason to keep the SDK's byte-wise memset. */
+    void stageEcallFast(const CallPlan &plan, const Args &args,
+                        FastStaging &staging, StagedCall &call);
+
+    /** FastPath ecall copy-out (before the slot is released). */
+    void finishEcallFast(StagedCall &call);
+
     const MarshalOptions &options() const { return options_; }
     void setOptions(MarshalOptions options) { options_ = options; }
 
@@ -159,15 +265,30 @@ class Marshaller
     std::uint64_t resolveBytes(const EdgeFunction &fn, const Args &args,
                                int index) const;
 
+    /** Plan-driven equivalent of resolveBytes (no spec walk). */
+    std::uint64_t planBytes(const CallPlan &plan, std::size_t index,
+                            const Args &args) const;
+
     /** Validate counts, capacities, and domain placement. */
     void validate(const EdgeFunction &fn, const Args &args,
                   bool ecall) const;
+
+    /** Plan-driven validation (same checks and messages). */
+    void validatePlan(const CallPlan &plan, const Args &args) const;
+
+    /** Shared body of the two fast stage entry points. */
+    void stageFast(const CallPlan &plan, const Args &args,
+                   FastStaging &staging, StagedCall &call);
+
+    /** Shared body of the two fast finish entry points. */
+    void finishFast(StagedCall &call);
 
     void charge(double cycles);
 
     mem::Machine &machine_;
     const sgx::SgxCostParams &params_;
     MarshalOptions options_;
+    std::unordered_map<const EdgeFunction *, CallPlan> plans_;
 };
 
 } // namespace hc::edl

@@ -5,6 +5,8 @@
 
 #include "hotcalls/hotcall.hh"
 
+#include <cstdlib>
+
 #include "support/logging.hh"
 
 namespace hc::hotcalls {
@@ -16,7 +18,26 @@ constexpr Cycles kRequesterFixed = 95;
 /** Responder-side fixed dispatch (call-table lookup, jump). */
 constexpr Cycles kResponderFixed = 85;
 
+/** @return @p bytes rounded up to whole cache lines (0 stays 0). */
+std::uint64_t
+roundUpToLines(std::uint64_t bytes)
+{
+    return (bytes + kCacheLineSize - 1) / kCacheLineSize *
+           kCacheLineSize;
+}
+
 } // anonymous namespace
+
+bool
+resolveFastPath(int config_value)
+{
+    if (config_value >= 0)
+        return config_value != 0;
+    const char *env = std::getenv("HC_FASTPATH");
+    if (env && env[0] != '\0')
+        return !(env[0] == '0' && env[1] == '\0');
+    return true;
+}
 
 HotCallService::HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
                                CoreId responder_core,
@@ -37,6 +58,40 @@ HotCallService::HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
         protocol_ = std::make_unique<check::HotCallProtocol>(
             *ck, kind_ == Kind::HotEcall ? "hot-ecall" : "hot-ocall");
     }
+
+    // FastPath channel staging. Allocated strictly after the legacy
+    // channel line so a disabled fast path leaves the address layout
+    // (and therefore every cache interaction) bit-identical to the
+    // pre-FastPath channel.
+    fastOn_ = resolveFastPath(config_.fastPath);
+    if (fastOn_) {
+        const bool is_ocall = kind_ == Kind::HotOcall;
+        if (is_ocall && config_.inlinePayloadBytes > 0) {
+            inlineArena_ = std::make_unique<mem::StagingArena>(
+                machine_, mem::Domain::Untrusted,
+                roundUpToLines(config_.inlinePayloadBytes));
+        }
+        if (config_.arenaBytes > 0) {
+            // HotEcall staging must live in enclave memory: the copy
+            // out of untrusted caller buffers is the security step.
+            arena_ = std::make_unique<mem::StagingArena>(
+                machine_,
+                is_ocall ? mem::Domain::Untrusted : mem::Domain::Epc,
+                config_.arenaBytes);
+        }
+        staging_.inlineArena = inlineArena_.get();
+        staging_.spill = arena_.get();
+        if (auto *ck = machine_.check()) {
+            // Arena lines order payload handoff, they do not race.
+            for (auto *arena : {inlineArena_.get(), arena_.get()}) {
+                if (!arena)
+                    continue;
+                for (std::uint64_t i = 0; i < arena->lineCount(); ++i)
+                    ck->registerSyncWord(arena->base() +
+                                         i * kCacheLineSize);
+            }
+        }
+    }
 }
 
 HotCallService::~HotCallService()
@@ -55,9 +110,17 @@ HotCallService::~HotCallService()
         responder_->state() == sim::ThreadState::Done) {
         machine_.space().free(channelLine_);
     } else if (auto *ck = machine_.check()) {
-        ck->registerDeliberateLeak(
-            channelLine_,
-            "hotcall channel line held by an unjoinable responder");
+        const char *why =
+            "hotcall channel line held by an unjoinable responder";
+        ck->registerDeliberateLeak(channelLine_, why);
+        // The arenas share the channel's fate: an unjoinable
+        // responder may still be serving out of them.
+        for (auto *arena : {inlineArena_.get(), arena_.get()}) {
+            if (!arena || !arena->base())
+                continue;
+            ck->registerDeliberateLeak(arena->base(), why);
+            arena->leak();
+        }
     }
 }
 
@@ -91,6 +154,12 @@ void
 HotCallService::touchChannel(bool write)
 {
     machine_.memory().accessWord(channelLine_, write);
+}
+
+void
+HotCallService::touchArenaLine(bool write)
+{
+    machine_.memory().accessWord(arena_->base(), write);
 }
 
 void
@@ -163,9 +232,13 @@ HotCallService::call(int id, const edl::Args &args)
         if (protocol_)
             protocol_->onLock();
 
-        // Is the responder free?
+        // Is the responder free? Under FastPath the channel staging
+        // must also be free: slotBusy_ stays set until the previous
+        // requester has copied its results back out of the arenas
+        // (the busy flag alone drops when the responder finishes,
+        // which is too early to recycle the staging).
         touchChannel(false);
-        if (go_) {
+        if (go_ || slotBusy_) {
             lockWord_ = false;
             if (protocol_)
                 protocol_->onUnlock();
@@ -181,11 +254,35 @@ HotCallService::call(int id, const edl::Args &args)
         // then signal "go" and release the lock.
         edl::StagedCall staged;
         EcallRequest ecall_req;
+        bool fast_call = false;
         if (is_ocall) {
             const auto &fn = runtime_.edlFile()
                                  .untrusted[static_cast<std::size_t>(id)];
-            staged = runtime_.marshaller().stageOcall(fn, args);
-            ocallRequest_ = &staged;
+            // Scalar-only functions stage nothing: the legacy path
+            // below is already copy-free and charge-free for them, so
+            // the fast plane only engages when payload moves.
+            if (fastOn_)
+                fast_call = runtime_.marshaller().plan(fn).anyCopy;
+            if (fast_call) {
+                slotBusy_ = true; // claim the staging (under the lock)
+                runtime_.marshaller().stageOcallFast(
+                    runtime_.marshaller().plan(fn), args, staging_,
+                    scratch_);
+                usedArena_ = staging_.usedSpill;
+                if (usedArena_)
+                    touchArenaLine(true); // hand the payload lines over
+                ++stats_.fastCalls;
+                if (staging_.usedInline)
+                    ++stats_.inlineStaged;
+                if (staging_.usedSpill)
+                    ++stats_.arenaStaged;
+                if (staging_.usedHeap)
+                    ++stats_.heapStaged;
+                ocallRequest_ = &scratch_;
+            } else {
+                staged = runtime_.marshaller().stageOcall(fn, args);
+                ocallRequest_ = &staged;
+            }
         } else {
             ecall_req.args = &args;
             ecallRequest_ = &ecall_req;
@@ -241,8 +338,21 @@ HotCallService::call(int id, const edl::Args &args)
         // here. Once the busy flag dropped, another requester may
         // already have taken the lock and published its own request;
         // scribbling the channel without holding the lock would race
-        // with it.
+        // with it. (slotBusy_ is ours alone to clear: requesters
+        // only set it after observing it clear under the lock.)
         if (is_ocall) {
+            if (fast_call) {
+                // Copy results out of the recycled staging, then
+                // release the staging claim.
+                if (usedArena_)
+                    touchArenaLine(false);
+                runtime_.marshaller().finishOcallFast(scratch_);
+                const std::uint64_t rv = scratch_.retval();
+                usedArena_ = false;
+                slotBusy_ = false;
+                touchChannel(true);
+                return rv;
+            }
             // Back "inside": copy out-buffers into the enclave.
             runtime_.marshaller().finishOcall(staged);
             return staged.retval();
@@ -266,7 +376,12 @@ HotCallService::serveRequest()
 
     if (kind_ == Kind::HotOcall) {
         hc_assert(ocallRequest_);
+        const bool arena_handoff = fastOn_ && usedArena_;
+        if (arena_handoff)
+            touchArenaLine(false); // pull the spilled payload lines
         runtime_.dispatchOcallDirect(callId_, *ocallRequest_);
+        if (arena_handoff)
+            touchArenaLine(true); // results written back to the arena
     } else {
         // HotEcall: the trusted responder runs the original
         // edger8r-style wrapper — staging (copy-in), the trusted
@@ -274,11 +389,29 @@ HotCallService::serveRequest()
         hc_assert(ecallRequest_);
         const auto &fn =
             runtime_.edlFile().trusted[static_cast<std::size_t>(callId_)];
-        auto staged =
-            runtime_.marshaller().stageEcall(fn, *ecallRequest_->args);
-        runtime_.dispatchEcallDirect(callId_, staged);
-        runtime_.marshaller().finishEcall(staged);
-        ecallRequest_->retval = staged.retval();
+        auto &marshaller = runtime_.marshaller();
+        if (fastOn_ && marshaller.plan(fn).anyCopy) {
+            // FastPath: stage into the recycled EPC arena. The
+            // staging is responder-side and serial, so recycling here
+            // (while no other call can be in it) is safe.
+            marshaller.stageEcallFast(marshaller.plan(fn),
+                                      *ecallRequest_->args, staging_,
+                                      scratch_);
+            ++stats_.fastCalls;
+            if (staging_.usedSpill)
+                ++stats_.arenaStaged;
+            if (staging_.usedHeap)
+                ++stats_.heapStaged;
+            runtime_.dispatchEcallDirect(callId_, scratch_);
+            marshaller.finishEcallFast(scratch_);
+            ecallRequest_->retval = scratch_.retval();
+        } else {
+            auto staged =
+                marshaller.stageEcall(fn, *ecallRequest_->args);
+            runtime_.dispatchEcallDirect(callId_, staged);
+            marshaller.finishEcall(staged);
+            ecallRequest_->retval = staged.retval();
+        }
     }
 
     stats_.responderBusyCycles += machine_.now() - start;

@@ -47,6 +47,15 @@ enum class Kind {
 };
 
 /**
+ * Resolve a channel's FastPath switch: an explicit config value (0 or
+ * 1) wins; -1 consults the HC_FASTPATH environment variable and
+ * defaults to ON for hot channels. With the switch off a channel is
+ * bit-identical to the pre-FastPath implementation (same allocations,
+ * same charges, same RNG draws).
+ */
+bool resolveFastPath(int config_value);
+
+/**
  * Common interface of the fast-call channels: the paper's single-line
  * HotCallService and the multi-slot HotQueue (hotqueue.hh) are
  * drop-in alternatives behind it, so callers (the porting layer, the
@@ -90,6 +99,18 @@ struct HotCallConfig {
      *  handled call (TLB shootdowns, SMIs, ...); feeds the CDF tail. */
     double hiccupChance = 0.012;
     Cycles hiccupMean = 230;
+    /** FastPath data plane switch: -1 = auto (HC_FASTPATH env,
+     *  default on), 0 = off (legacy marshalling, bit-identical to
+     *  the pre-FastPath channel), 1 = on. */
+    int fastPath = -1;
+    /** Payload bytes carried inline next to the channel line (rounded
+     *  up to whole cache lines); 0 disables inline staging. Applies
+     *  to HotOcall only: HotEcall staging must live in enclave
+     *  memory, not in the shared (untrusted) channel lines. */
+    std::uint64_t inlinePayloadBytes = 64;
+    /** Channel spill-arena capacity; 0 disables (oversized payloads
+     *  go straight to the legacy heap staging). */
+    std::uint64_t arenaBytes = 4096;
 };
 
 /** Run statistics of a HotCall service. */
@@ -101,6 +122,11 @@ struct HotCallStats {
     std::uint64_t responderSleeps = 0;
     std::uint64_t wakeups = 0;
     Cycles responderBusyCycles = 0; //!< time inside handlers
+    // FastPath staging placement (calls that staged any payload).
+    std::uint64_t fastCalls = 0;    //!< staged via the fast plane
+    std::uint64_t inlineStaged = 0; //!< used the inline slot lines
+    std::uint64_t arenaStaged = 0;  //!< used the spill arena
+    std::uint64_t heapStaged = 0;   //!< spilled past the arena to heap
 };
 
 /**
@@ -164,6 +190,11 @@ class HotCallService : public Channel
     /** One priced access to the shared channel line. */
     void touchChannel(bool write);
 
+    /** One priced access to the spill arena's base line (payload
+     *  handoff for arena-staged calls; inline payloads ride the
+     *  channel-line transfers already priced). */
+    void touchArenaLine(bool write);
+
     /** Execute the published request (responder side). */
     void serveRequest();
 
@@ -194,6 +225,24 @@ class HotCallService : public Channel
     int callId_ = -1;
     edl::StagedCall *ocallRequest_ = nullptr; //!< the *data pointer
     EcallRequest *ecallRequest_ = nullptr;
+
+    // ------------------------------------------------------------------
+    // FastPath channel staging. The single-line channel has exactly
+    // one staging slot; slotBusy_ extends the protocol so a second
+    // requester cannot recycle the arenas before the first one has
+    // copied its results back out (the busy flag alone drops too
+    // early: it clears when the responder finishes, not when the
+    // requester is done harvesting).
+    // ------------------------------------------------------------------
+
+    bool fastOn_ = false;
+    bool slotBusy_ = false;  //!< staging claimed; set/cleared by the
+                             //!< requester that staged into it
+    bool usedArena_ = false; //!< current call staged into the arena
+    std::unique_ptr<mem::StagingArena> inlineArena_;
+    std::unique_ptr<mem::StagingArena> arena_;
+    edl::FastStaging staging_;
+    edl::StagedCall scratch_; //!< recycled in place of stack staging
 
     sdk::SgxThreadMutex sleepMutex_;
     sdk::SgxThreadCond sleepCond_;

@@ -26,6 +26,14 @@ constexpr Cycles kRequesterFixed = 95;
 /** Responder-side fixed dispatch (call-table lookup, jump). */
 constexpr Cycles kResponderFixed = 85;
 
+/** @return @p bytes rounded up to whole cache lines (0 stays 0). */
+std::uint64_t
+roundUpToLines(std::uint64_t bytes)
+{
+    return (bytes + kCacheLineSize - 1) / kCacheLineSize *
+           kCacheLineSize;
+}
+
 } // anonymous namespace
 
 HotQueue::HotQueue(sdk::EnclaveRuntime &runtime, Kind kind,
@@ -65,6 +73,53 @@ HotQueue::HotQueue(sdk::EnclaveRuntime &runtime, Kind kind,
             *ck, kind_ == Kind::HotEcall ? "hotq-ecall" : "hotq-ocall",
             config_.numSlots);
     }
+
+    // FastPath per-slot staging. Allocated strictly after the legacy
+    // ring lines so a disabled fast path leaves the address layout
+    // (and therefore every cache interaction) bit-identical to the
+    // pre-FastPath queue.
+    fastOn_ = resolveFastPath(config_.fastPath);
+    if (fastOn_) {
+        const bool is_ocall = kind_ == Kind::HotOcall;
+        const std::uint64_t inline_bytes =
+            is_ocall ? roundUpToLines(config_.inlinePayloadBytes) : 0;
+        for (auto &slot : slots_) {
+            if (inline_bytes > 0) {
+                // The slot's "own" payload lines: adjacent extra
+                // lines whose transfers are covered by the slot-line
+                // handoff already priced (an inline call touches no
+                // lines beyond the slot itself).
+                slot.inlineArena = std::make_unique<mem::StagingArena>(
+                    machine_, mem::Domain::Untrusted, inline_bytes);
+            }
+            if (config_.arenaBytesPerSlot > 0) {
+                // HotEcall staging must live in enclave memory: the
+                // copy out of untrusted caller buffers is the
+                // security step.
+                slot.arena = std::make_unique<mem::StagingArena>(
+                    machine_,
+                    is_ocall ? mem::Domain::Untrusted
+                             : mem::Domain::Epc,
+                    config_.arenaBytesPerSlot);
+            }
+            slot.staging.inlineArena = slot.inlineArena.get();
+            slot.staging.spill = slot.arena.get();
+        }
+        if (auto *ck = machine_.check()) {
+            // Arena lines order payload handoff, they do not race.
+            for (auto &slot : slots_) {
+                for (auto *arena :
+                     {slot.inlineArena.get(), slot.arena.get()}) {
+                    if (!arena)
+                        continue;
+                    for (std::uint64_t i = 0; i < arena->lineCount();
+                         ++i)
+                        ck->registerSyncWord(arena->base() +
+                                             i * kCacheLineSize);
+                }
+            }
+        }
+    }
 }
 
 HotQueue::~HotQueue()
@@ -87,10 +142,21 @@ HotQueue::~HotQueue()
             machine_.space().free(slot.line);
         machine_.space().free(headLine_);
         machine_.space().free(tailLine_);
+        // The slot arenas free themselves when slots_ is destroyed.
     } else if (auto *ck = machine_.check()) {
         const char *why = "hotqueue line held by an unjoinable responder";
-        for (auto &slot : slots_)
+        for (auto &slot : slots_) {
             ck->registerDeliberateLeak(slot.line, why);
+            // The arenas share the slot's fate: an unjoinable
+            // responder may still be serving out of them.
+            for (auto *arena :
+                 {slot.inlineArena.get(), slot.arena.get()}) {
+                if (!arena || !arena->base())
+                    continue;
+                ck->registerDeliberateLeak(arena->base(), why);
+                arena->leak();
+            }
+        }
         ck->registerDeliberateLeak(headLine_, why);
         ck->registerDeliberateLeak(tailLine_, why);
     }
@@ -112,6 +178,12 @@ void
 HotQueue::touchTail(bool write)
 {
     machine_.memory().accessWord(tailLine_, write);
+}
+
+void
+HotQueue::touchArena(std::size_t index, bool write)
+{
+    machine_.memory().accessWord(slots_[index].arena->base(), write);
 }
 
 std::uint64_t
@@ -229,14 +301,41 @@ HotQueue::call(int id, const edl::Args &args)
 
         // Marshal into the claimed slot (a HotOcall requester runs
         // the same edger8r-generated trusted wrapper the SDK would).
+        // Under FastPath the staging goes into the slot's recycled
+        // arenas instead of fresh allocations; recycling is legal
+        // exactly here — the slot is ours while Publishing.
         edl::StagedCall staged;
         EcallRequest ecall_req;
+        bool fast_call = false;
         if (is_ocall) {
             const auto &fn =
                 runtime_.edlFile()
                     .untrusted[static_cast<std::size_t>(id)];
-            staged = runtime_.marshaller().stageOcall(fn, args);
-            slot.ocall = &staged;
+            // Scalar-only functions stage nothing: the legacy path
+            // is already copy-free and charge-free for them.
+            if (fastOn_)
+                fast_call = runtime_.marshaller().plan(fn).anyCopy;
+            if (fast_call) {
+                if (protocol_)
+                    protocol_->onArenaRecycle(static_cast<int>(idx));
+                runtime_.marshaller().stageOcallFast(
+                    runtime_.marshaller().plan(fn), args, slot.staging,
+                    slot.scratch);
+                slot.usedArena = slot.staging.usedSpill;
+                if (slot.usedArena)
+                    touchArena(idx, true); // hand the payload lines over
+                ++stats_.fastCalls;
+                if (slot.staging.usedInline)
+                    ++stats_.inlineStaged;
+                if (slot.staging.usedSpill)
+                    ++stats_.arenaStaged;
+                if (slot.staging.usedHeap)
+                    ++stats_.heapStaged;
+                slot.ocall = &slot.scratch;
+            } else {
+                staged = runtime_.marshaller().stageOcall(fn, args);
+                slot.ocall = &staged;
+            }
         } else {
             ecall_req.args = &args;
             slot.ecall = &ecall_req;
@@ -269,10 +368,24 @@ HotQueue::call(int id, const edl::Args &args)
             engine.advance(sdk::kPauseCycles +
                            rng.nextBelow(config_.pollJitter + 1));
         }
+        // A fast call copies its results out of the slot staging
+        // BEFORE the slot is released: the arenas (and the recycled
+        // scratch) belong to the slot's next claimant the moment it
+        // goes Free. The legacy path keeps its original order (its
+        // heap staging is private to this call).
+        std::uint64_t fast_retval = 0;
+        if (fast_call) {
+            if (slot.usedArena)
+                touchArena(idx, false); // read the results back
+            runtime_.marshaller().finishOcallFast(slot.scratch);
+            fast_retval = slot.scratch.retval();
+        }
+
         // Harvest, then release the slot to the next producer.
         slot.callId = -1;
         slot.ocall = nullptr;
         slot.ecall = nullptr;
+        slot.usedArena = false;
         slot.state = SlotState::Free;
         if (protocol_)
             protocol_->onHarvest(static_cast<int>(idx));
@@ -280,6 +393,8 @@ HotQueue::call(int id, const edl::Args &args)
         ++stats_.calls;
 
         if (is_ocall) {
+            if (fast_call)
+                return fast_retval;
             runtime_.marshaller().finishOcall(staged);
             return staged.retval();
         }
@@ -296,15 +411,21 @@ HotQueue::call(int id, const edl::Args &args)
 }
 
 void
-HotQueue::serveRequest(Slot &slot)
+HotQueue::serveRequest(std::size_t index)
 {
+    Slot &slot = slots_[index];
     const Cycles start = machine_.now();
     auto &engine = machine_.engine();
     engine.advance(kResponderFixed);
 
     if (kind_ == Kind::HotOcall) {
         hc_assert(slot.ocall);
+        const bool arena_handoff = fastOn_ && slot.usedArena;
+        if (arena_handoff)
+            touchArena(index, false); // pull the spilled payload lines
         runtime_.dispatchOcallDirect(slot.callId, *slot.ocall);
+        if (arena_handoff)
+            touchArena(index, true); // results written to the arena
     } else {
         // HotEcall: the trusted responder runs the original
         // edger8r-style wrapper — staging (copy-in), the trusted
@@ -313,11 +434,32 @@ HotQueue::serveRequest(Slot &slot)
         const auto &fn =
             runtime_.edlFile()
                 .trusted[static_cast<std::size_t>(slot.callId)];
-        auto staged =
-            runtime_.marshaller().stageEcall(fn, *slot.ecall->args);
-        runtime_.dispatchEcallDirect(slot.callId, staged);
-        runtime_.marshaller().finishEcall(staged);
-        slot.ecall->retval = staged.retval();
+        auto &marshaller = runtime_.marshaller();
+        if (fastOn_ && marshaller.plan(fn).anyCopy) {
+            // FastPath: stage into the slot's recycled EPC arena.
+            // The slot is ours while Serving, so recycling is legal
+            // exactly here (and the whole round trip — stage,
+            // execute, copy-out — completes before Done).
+            if (protocol_)
+                protocol_->onArenaRecycle(static_cast<int>(index));
+            marshaller.stageEcallFast(marshaller.plan(fn),
+                                      *slot.ecall->args, slot.staging,
+                                      slot.scratch);
+            ++stats_.fastCalls;
+            if (slot.staging.usedSpill)
+                ++stats_.arenaStaged;
+            if (slot.staging.usedHeap)
+                ++stats_.heapStaged;
+            runtime_.dispatchEcallDirect(slot.callId, slot.scratch);
+            marshaller.finishEcallFast(slot.scratch);
+            slot.ecall->retval = slot.scratch.retval();
+        } else {
+            auto staged =
+                marshaller.stageEcall(fn, *slot.ecall->args);
+            runtime_.dispatchEcallDirect(slot.callId, staged);
+            marshaller.finishEcall(staged);
+            slot.ecall->retval = staged.retval();
+        }
     }
 
     stats_.responderBusyCycles += machine_.now() - start;
@@ -366,7 +508,7 @@ HotQueue::tryServeBatch()
     for (std::size_t idx : batch) {
         Slot &slot = slots_[idx];
         touchSlot(idx, false); // read call_ID and *data
-        serveRequest(slot);
+        serveRequest(idx);
         slot.state = SlotState::Done;
         if (protocol_)
             protocol_->onComplete(static_cast<int>(idx));

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "hotcalls/hotcall.hh"
+#include "mem/arena.hh"
 #include "support/stats.hh"
 
 namespace hc::hotcalls {
@@ -70,6 +71,18 @@ struct HotQueueConfig {
     /** Queue depth at which an enqueue wakes a parked responder;
      *  0 = auto (half the slots, at least 2). */
     int scaleUpDepth = 0;
+    /** FastPath data plane switch: -1 = auto (HC_FASTPATH env,
+     *  default on), 0 = off (legacy marshalling, bit-identical to
+     *  the pre-FastPath queue), 1 = on. */
+    int fastPath = -1;
+    /** Payload bytes carried inline in the slot's own cache lines
+     *  (rounded up to whole lines); 0 disables inline staging.
+     *  Applies to HotOcall only: HotEcall staging must live in
+     *  enclave memory, not in the shared (untrusted) slot lines. */
+    std::uint64_t inlinePayloadBytes = 64;
+    /** Per-slot spill arena capacity; 0 disables (oversized payloads
+     *  go straight to the legacy heap staging). */
+    std::uint64_t arenaBytesPerSlot = 4096;
 };
 
 /** Run statistics of a HotQueue. */
@@ -83,6 +96,11 @@ struct HotQueueStats {
     std::uint64_t scaleUps = 0;
     std::uint64_t scaleDowns = 0;
     Cycles responderBusyCycles = 0; //!< time inside handlers
+    // FastPath staging placement (calls that staged any payload).
+    std::uint64_t fastCalls = 0;    //!< staged via the fast plane
+    std::uint64_t inlineStaged = 0; //!< used the inline slot lines
+    std::uint64_t arenaStaged = 0;  //!< used the spill arena
+    std::uint64_t heapStaged = 0;   //!< spilled past the arena to heap
     Histogram depth{64};     //!< pending entries at each enqueue
     Histogram batchSize{64}; //!< slots served per batch
 };
@@ -157,6 +175,13 @@ class HotQueue : public Channel
         int callId = -1;
         edl::StagedCall *ocall = nullptr;
         EcallRequest *ecall = nullptr;
+        // FastPath per-slot staging: recycled across the calls that
+        // pass through this slot (never reallocated per call).
+        std::unique_ptr<mem::StagingArena> inlineArena;
+        std::unique_ptr<mem::StagingArena> arena;
+        edl::FastStaging staging;
+        edl::StagedCall scratch;
+        bool usedArena = false; //!< in-flight call staged into arena
     };
 
     /** The responder thread body (pool member @p index). */
@@ -166,7 +191,7 @@ class HotQueue : public Channel
     int tryServeBatch();
 
     /** Execute one published request (responder side). */
-    void serveRequest(Slot &slot);
+    void serveRequest(std::size_t index);
 
     /** Park the calling responder; re-checks conditions under the
      *  pool mutex and counts a scale-down when @p scale_event.
@@ -181,6 +206,11 @@ class HotQueue : public Channel
     void touchSlot(std::size_t index, bool write);
     void touchHead(bool write);
     void touchTail(bool write);
+
+    /** One priced access to slot @p index's spill-arena base line
+     *  (payload handoff for arena-staged calls; inline payloads ride
+     *  the slot-line transfers already priced). */
+    void touchArena(std::size_t index, bool write);
 
     /** @return unserved (pre-grab) entries in the ring. */
     std::uint64_t pending() const { return tail_ - head_; }
@@ -213,6 +243,7 @@ class HotQueue : public Channel
     std::vector<sim::Thread *> responders_;
     bool stopRequested_ = false;
     bool stopped_ = false;
+    bool fastOn_ = false; //!< resolved FastPath switch
     HotQueueStats stats_;
 
     /** Shadow state machine when the Machine's checker is on. */

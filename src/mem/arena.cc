@@ -1,0 +1,52 @@
+/**
+ * @file
+ * StagingArena implementation.
+ */
+
+#include "mem/arena.hh"
+
+namespace hc::mem {
+
+namespace {
+
+/** Bump-pointer alignment: keeps pieces SSE-copy friendly without
+ *  padding small payloads to whole lines. */
+constexpr std::uint64_t kArenaAlign = 16;
+
+} // anonymous namespace
+
+StagingArena::StagingArena(Machine &machine, Domain domain,
+                           std::uint64_t capacity)
+    : machine_(machine), domain_(domain), capacity_(capacity)
+{
+    if (capacity_ == 0)
+        return;
+    bytes_.assign(capacity_, 0);
+    addr_ = domain_ == Domain::Epc
+                ? machine_.space().allocEpc(capacity_, kCacheLineSize)
+                : machine_.space().allocUntrusted(capacity_,
+                                                  kCacheLineSize);
+}
+
+StagingArena::~StagingArena()
+{
+    if (addr_)
+        machine_.space().free(addr_);
+}
+
+bool
+StagingArena::tryAlloc(std::uint64_t bytes, Piece &out)
+{
+    if (capacity_ == 0)
+        return false;
+    const std::uint64_t aligned =
+        (used_ + kArenaAlign - 1) & ~(kArenaAlign - 1);
+    if (bytes > capacity_ || aligned > capacity_ - bytes)
+        return false;
+    out.data = bytes_.data() + aligned;
+    out.addr = addr_ + aligned;
+    used_ = aligned + bytes;
+    return true;
+}
+
+} // namespace hc::mem

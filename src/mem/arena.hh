@@ -1,0 +1,91 @@
+/**
+ * @file
+ * StagingArena: a preallocated, recycled marshalling region.
+ *
+ * The SDK pays a fresh staging allocation on every edge call (the
+ * 110-cycle enclave malloc of an ecall, the untrusted bookkeeping of
+ * an ocall). The FastPath data plane replaces that with per-channel
+ * arenas: a cache-line-aligned region allocated once at channel
+ * construction and recycled with a bump pointer on every call, so the
+ * per-call allocation cost collapses to a pointer increment.
+ *
+ * An arena pairs host bytes (functional contents, like mem::Buffer)
+ * with one simulated allocation. Recycling is a host-side reset; the
+ * channel that owns the arena decides *when* resetting is legal (a
+ * slot's arena may not be recycled while a responder is Serving from
+ * it — SimCheck's HotQueueProtocol::onArenaRecycle enforces this).
+ */
+
+#ifndef HC_MEM_ARENA_HH
+#define HC_MEM_ARENA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/machine.hh"
+
+namespace hc::mem {
+
+/** A bump-allocated staging region with host-backed contents. */
+class StagingArena
+{
+  public:
+    /**
+     * Allocate a @p capacity byte region in @p domain of @p machine,
+     * aligned to a cache line. @p capacity 0 makes a valid arena in
+     * which every tryAlloc fails (used to disable spilling).
+     */
+    StagingArena(Machine &machine, Domain domain,
+                 std::uint64_t capacity);
+
+    ~StagingArena();
+
+    StagingArena(const StagingArena &) = delete;
+    StagingArena &operator=(const StagingArena &) = delete;
+
+    /** One carved piece: host bytes plus simulated placement. */
+    struct Piece {
+        std::uint8_t *data = nullptr;
+        Addr addr = 0;
+    };
+
+    /**
+     * Carve @p bytes from the arena (16-byte aligned bump).
+     * @return false when the remaining capacity does not fit them
+     *         (the caller falls back to the heap staging path).
+     */
+    bool tryAlloc(std::uint64_t bytes, Piece &out);
+
+    /** Recycle the arena: every piece is released at once. Contents
+     *  are NOT scrubbed here — direction-dependent zeroing is the
+     *  marshaller's business (and part of its cost model). */
+    void reset() { used_ = 0; }
+
+    /** Give up ownership of the simulated region (teardown path for
+     *  a channel whose responder could not be joined: the lines are
+     *  registered as a deliberate leak instead of freed). */
+    void leak() { addr_ = 0; }
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t used() const { return used_; }
+    Addr base() const { return addr_; }
+    Domain domain() const { return domain_; }
+
+    /** Cache lines spanned by the region (sync-word registration). */
+    std::uint64_t lineCount() const
+    {
+        return (capacity_ + kCacheLineSize - 1) / kCacheLineSize;
+    }
+
+  private:
+    Machine &machine_;
+    Domain domain_;
+    Addr addr_ = 0;
+    std::uint64_t capacity_ = 0;
+    std::uint64_t used_ = 0;
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace hc::mem
+
+#endif // HC_MEM_ARENA_HH

@@ -125,6 +125,8 @@ PortedApp::PortedApp(sgx::SgxPlatform &platform, os::Kernel &kernel,
                 // direction; the ocall pool may scale onto the
                 // configured extra cores under load.
                 hotcalls::HotQueueConfig ocall_cfg = config_.hotQueue;
+                if (config_.fastPath != -1)
+                    ocall_cfg.fastPath = config_.fastPath;
                 ocall_cfg.responderCores = {config_.hotOcallCore};
                 ocall_cfg.responderCores.insert(
                     ocall_cfg.responderCores.end(),
@@ -132,17 +134,20 @@ PortedApp::PortedApp(sgx::SgxPlatform &platform, os::Kernel &kernel,
                     config_.extraHotOcallCores.end());
                 hotOcalls_ = std::make_unique<hotcalls::HotQueue>(
                     *runtime_, hotcalls::Kind::HotOcall, ocall_cfg);
-                hotcalls::HotQueueConfig ecall_cfg = config_.hotQueue;
+                hotcalls::HotQueueConfig ecall_cfg = ocall_cfg;
                 ecall_cfg.responderCores = {config_.hotEcallCore};
                 hotEcalls_ = std::make_unique<hotcalls::HotQueue>(
                     *runtime_, hotcalls::Kind::HotEcall, ecall_cfg);
             } else {
+                hotcalls::HotCallConfig hot_cfg;
+                if (config_.fastPath != -1)
+                    hot_cfg.fastPath = config_.fastPath;
                 hotOcalls_ = std::make_unique<hotcalls::HotCallService>(
                     *runtime_, hotcalls::Kind::HotOcall,
-                    config_.hotOcallCore);
+                    config_.hotOcallCore, hot_cfg);
                 hotEcalls_ = std::make_unique<hotcalls::HotCallService>(
                     *runtime_, hotcalls::Kind::HotEcall,
-                    config_.hotEcallCore);
+                    config_.hotEcallCore, hot_cfg);
             }
         }
     }

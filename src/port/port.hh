@@ -57,6 +57,10 @@ struct PortConfig {
     Mode mode = Mode::Native;
     /** Marshalling options (No-Redundant-Zeroing, word-wise memset). */
     edl::MarshalOptions marshal;
+    /** FastPath data plane for both hot channels: -1 = leave each
+     *  channel config alone (HC_FASTPATH env, default on), 0 / 1 =
+     *  force off / on for ocall and ecall channels alike. */
+    int fastPath = -1;
     /** Responder cores for the two HotCall channels. */
     CoreId hotOcallCore = 2;
     CoreId hotEcallCore = 3;

@@ -32,6 +32,14 @@ EnclaveRuntime::EnclaveRuntime(sgx::SgxPlatform &platform,
     ecallCount_.assign(edl_.trusted.size(), 0);
     ocallCount_.assign(edl_.untrusted.size(), 0);
 
+    // FastPath: build every edge function's marshalling plan once,
+    // here at registration; the hot channels look plans up by
+    // function identity and never re-walk the spec per call.
+    for (const auto &fn : edl_.trusted)
+        marshaller_.plan(fn);
+    for (const auto &fn : edl_.untrusted)
+        marshaller_.plan(fn);
+
     // Trusted-runtime ocall frame (marshalling scratch in the EPC).
     const int frame_lines = 1;
     ocallFrameAddr_ = machine_.space().allocEpc(

@@ -100,6 +100,25 @@ struct SgxCostParams {
     double memsetWordWisePerByte = 0.09;
 
     // ------------------------------------------------------------------
+    // FastPath data plane (per-channel staging arenas + cached call
+    // plans; DESIGN.md Section 6.1). The SDK per-byte rates above
+    // bundle edger8r bookkeeping (per-call pointer re-validation,
+    // table walks, the checked memcpy wrapper) with the raw copy; the
+    // spread between the SDK's byte-wise memset (0.71-1.23/B) and the
+    // word-wise one (0.09/B) bounds how much of that is software
+    // overhead. The fast plane copies into preallocated, warm staging
+    // with a precomputed plan, so it keeps only the raw copy cost.
+    // ------------------------------------------------------------------
+    /** Per-call fixed cost of the fast plane: cached-plan lookup plus
+     *  the bump-pointer claim (replaces the per-call allocation). */
+    Cycles fastpathStageFixed = 12;
+    /** Unchecked word-at-a-time memcpy into/out of warm arena
+     *  staging (replaces the per-byte SDK copy rates). A payload that
+     *  spills past the arena pays the legacy staging allocation and
+     *  per-byte rates for that parameter instead. */
+    double fastpathCopyPerByte = 0.16;
+
+    // ------------------------------------------------------------------
     // EPC paging.
     // ------------------------------------------------------------------
     /** EWB of a victim page (encrypt + MAC + write out). */

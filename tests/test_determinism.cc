@@ -307,6 +307,114 @@ goldenText()
     return text;
 }
 
+// ----------------------------------------------------------------------
+// FastPath data-plane scenario. Separate EDL and fixture so the
+// pre-FastPath golden scenarios above stay untouched (the enclave
+// image content feeds the measurement cost model).
+// ----------------------------------------------------------------------
+
+const char *kFastPathEdl = R"(
+    enclave {
+        trusted {
+            public void ecall_run();
+        };
+        untrusted {
+            uint64_t ocall_bump([in, out, size=len] uint8_t* buf,
+                                size_t len);
+        };
+    };
+)";
+
+/**
+ * Hot ocalls carrying buffers sized to hit all three staging
+ * placements (inline, arena, heap spill), libm-free. @p fast_path
+ * pins the data plane: 0 must reproduce the legacy marshalling
+ * bit for bit regardless of HC_FASTPATH.
+ */
+Digest
+fastPathScenario(bool check_on, int fast_path, int calls)
+{
+    mem::MachineConfig machine_config;
+    machine_config.engine.numCores = 8;
+    machine_config.engine.seed = 42;
+    machine_config.engine.interruptMeanCycles = 0;
+    machine_config.check.enabled = check_on;
+    mem::Machine machine(machine_config);
+    sgx::SgxPlatform platform(machine);
+    sdk::EnclaveRuntime runtime(platform, "determinism-fp",
+                                kFastPathEdl, 4);
+    std::uint64_t sum = 0;
+    runtime.registerEcall("ecall_run", [](edl::StagedCall &) {});
+    runtime.registerOcall("ocall_bump", [&](edl::StagedCall &c) {
+        for (std::uint64_t i = 0; i < c.size(0); ++i) {
+            sum += c.data(0)[i];
+            c.data(0)[i] =
+                static_cast<std::uint8_t>(c.data(0)[i] + 1);
+        }
+        c.setRetval(sum);
+    });
+
+    HotQueueConfig config;
+    config.numSlots = 4;
+    config.responderCores = {1};
+    config.hiccupChance = 0.0;
+    config.fastPath = fast_path;
+    HotQueue hot(runtime, Kind::HotOcall, config);
+
+    static constexpr std::uint64_t kSizes[] = {16, 100, 300, 2048};
+    std::vector<Cycles> latencies;
+    latencies.reserve(static_cast<std::size_t>(calls));
+    machine.engine().spawn("driver", 0, [&] {
+        hot.start();
+        sgx::Tcs *tcs = runtime.enclave().acquireTcs();
+        platform.eenter(runtime.enclave(), *tcs);
+        mem::Buffer buf(machine, mem::Domain::Epc, 2048);
+        for (int i = 0; i < calls; ++i) {
+            const std::uint64_t len =
+                kSizes[static_cast<std::size_t>(i) % 4];
+            const Cycles t0 = machine.now();
+            sum += hot.call("ocall_bump", {edl::Arg::buffer(buf),
+                                           edl::Arg::value(len)});
+            latencies.push_back(machine.now() - t0);
+        }
+        platform.eexit();
+        runtime.enclave().releaseTcs(tcs);
+        hot.stop();
+        machine.engine().stop();
+    });
+    machine.engine().run();
+
+    Digest d;
+    d.add("fp.plane", static_cast<std::uint64_t>(fast_path));
+    d.add("fp.sum", sum);
+    d.addSamples("fp.latency", latencies);
+    const auto &s = hot.stats();
+    d.add("fp.calls", s.calls);
+    d.add("fp.fallbacks", s.fallbacks);
+    d.add("fp.fastCalls", s.fastCalls);
+    d.add("fp.inlineStaged", s.inlineStaged);
+    d.add("fp.arenaStaged", s.arenaStaged);
+    d.add("fp.heapStaged", s.heapStaged);
+    d.add("fp.busy", s.responderBusyCycles);
+    auto &engine = machine.engine();
+    for (int c = 0; c < engine.numCores(); ++c)
+        d.add("core" + std::to_string(c) + ".clock",
+              engine.coreNow(c));
+    d.add("llc.hits", machine.memory().cache().hits());
+    d.add("llc.misses", machine.memory().cache().misses());
+    d.add("mee.nodeHits", machine.memory().mee().nodeCacheHits());
+    d.add("mee.nodeMisses", machine.memory().mee().nodeCacheMisses());
+    return d;
+}
+
+/** Both planes' digests back to back (the FastPath golden input). */
+std::string
+fastPathGoldenText()
+{
+    return fastPathScenario(false, 0, 120).text() +
+           fastPathScenario(false, 1, 120).text();
+}
+
 void
 maybePrint(const char *what, const std::string &text)
 {
@@ -346,6 +454,24 @@ TEST(Determinism, MemorySweepRunTwice)
     EXPECT_EQ(a.text(), b.text());
 }
 
+TEST(Determinism, FastPathScenarioRunTwiceBothPlanes)
+{
+    // The FastPath data plane must be run-twice deterministic with
+    // the switch in either position.
+    const Digest on_a = fastPathScenario(false, 1, 120);
+    const Digest on_b = fastPathScenario(false, 1, 120);
+    EXPECT_EQ(on_a.text(), on_b.text());
+
+    const Digest off_a = fastPathScenario(false, 0, 120);
+    const Digest off_b = fastPathScenario(false, 0, 120);
+    EXPECT_EQ(off_a.text(), off_b.text());
+
+    // And the two planes must NOT be byte-identical to each other:
+    // FastPath deliberately changes the cycle model (that is the
+    // point), so a silent plane mix-up cannot hide here.
+    EXPECT_NE(on_a.text(), off_a.text());
+}
+
 // ----------------------------------------------------------------------
 // SimCheck invariance: instrumentation must not move simulated time.
 // (Under an HC_CHECK=1 environment both runs have the checker on,
@@ -366,6 +492,10 @@ TEST(Determinism, CheckDoesNotChangeSimulatedCycles)
     const Digest moff = memorySweepScenario(false);
     const Digest mon = memorySweepScenario(true);
     EXPECT_EQ(moff.text(), mon.text());
+
+    const Digest foff = fastPathScenario(false, 1, 60);
+    const Digest fon = fastPathScenario(true, 1, 60);
+    EXPECT_EQ(foff.text(), fon.text());
 }
 
 // ----------------------------------------------------------------------
@@ -386,5 +516,26 @@ TEST(Determinism, GoldenDigest)
         << "Simulated outputs drifted from the pre-TurboSim golden "
            "digest. Rerun with HC_PRINT_DIGEST=1 to inspect; only a "
            "deliberate model change may update the golden.\n"
+        << text;
+}
+
+// ----------------------------------------------------------------------
+// The FastPath golden: both data planes of the buffer-carrying hot
+// ocall scenario, pinned at the introduction of FastPath marshalling.
+// The legacy half doubles as the bit-identity guard for the
+// fastPath=0 switch; the fast half pins the new cost model.
+// ----------------------------------------------------------------------
+
+TEST(Determinism, FastPathGoldenDigest)
+{
+    const std::string text = fastPathGoldenText();
+    maybePrint("fastpath-golden", text);
+    const std::uint64_t kFastPathGoldenHash =
+        1573601871988929706ull;
+    EXPECT_EQ(fastHash64(text), kFastPathGoldenHash)
+        << "FastPath scenario outputs drifted from the golden digest "
+           "captured when FastPath marshalling was introduced. Rerun "
+           "with HC_PRINT_DIGEST=1 to inspect; only a deliberate "
+           "model change may update the golden.\n"
         << text;
 }

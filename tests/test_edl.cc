@@ -195,6 +195,8 @@ struct MarshalFixture {
                     void u_from([out, size=len] uint8_t* b,
                                 size_t len);
                     void u_str([in, string] const char* s);
+                    void u_count([in, count=n] uint64_t* b,
+                                 size_t n);
                 };
             };
           )"))
@@ -337,6 +339,69 @@ TEST(Marshal, RejectsArgumentCountMismatch)
         EXPECT_THROW(f.marshaller.stageEcall(
                          *f.edl.findTrusted("t_in"), {Arg::value(1)}),
                      EdlError);
+    });
+}
+
+TEST(Marshal, ZeroLengthBufferIsZeroCopy)
+{
+    MarshalFixture f;
+    f.run([&] {
+        // len = 0 stages nothing: the callee sees the caller pointer
+        // and finish copies nothing back. Deterministic for every
+        // direction.
+        mem::Buffer buf(f.machine, mem::Domain::Untrusted, 16);
+        std::memset(buf.data(), 0xab, 16);
+        for (const char *name : {"t_in", "t_out", "t_inout"}) {
+            auto call = f.marshaller.stageEcall(
+                *f.edl.findTrusted(name),
+                {Arg::buffer(buf), Arg::value(0)});
+            EXPECT_EQ(call.size(0), 0u) << name;
+            EXPECT_EQ(call.data(0), buf.data()) << name;
+            f.marshaller.finishEcall(call);
+            EXPECT_EQ(buf.data()[0], 0xab) << name;
+        }
+    });
+}
+
+TEST(Marshal, NullOutAndInOutPointersPassThrough)
+{
+    MarshalFixture f;
+    f.run([&] {
+        // NULL marshals as NULL even for out/inout: nothing is
+        // staged, zeroed, or copied back.
+        for (const char *name : {"t_out", "t_inout"}) {
+            auto call = f.marshaller.stageEcall(
+                *f.edl.findTrusted(name),
+                {Arg::null(), Arg::value(64)});
+            EXPECT_EQ(call.data(0), nullptr) << name;
+            f.marshaller.finishEcall(call);
+        }
+        auto ocall = f.marshaller.stageOcall(
+            *f.edl.findUntrusted("u_from"),
+            {Arg::null(), Arg::value(64)});
+        EXPECT_EQ(ocall.data(0), nullptr);
+        f.marshaller.finishOcall(ocall);
+    });
+}
+
+TEST(Marshal, CountTimesSizeOverflowRejected)
+{
+    MarshalFixture f;
+    f.run([&] {
+        // count * sizeof(uint64_t) wrapping past 2^64 must throw, not
+        // wrap to a small byte length that passes the bounds check.
+        mem::Buffer buf(f.machine, mem::Domain::Epc, 64);
+        const std::uint64_t count = UINT64_MAX / 4;
+        try {
+            f.marshaller.stageOcall(
+                *f.edl.findUntrusted("u_count"),
+                {Arg::buffer(buf), Arg::value(count)});
+            FAIL() << "expected EdlError";
+        } catch (const EdlError &e) {
+            EXPECT_NE(std::string(e.what()).find("overflows"),
+                      std::string::npos)
+                << e.what();
+        }
     });
 }
 
