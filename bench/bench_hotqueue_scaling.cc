@@ -106,7 +106,8 @@ driveChannel(TestBed &bed, hotcalls::Channel &channel, int requesters)
     std::uint64_t total = 0;
     for (auto c : counts)
         total += c;
-    return static_cast<double>(total) / seconds;
+    // A degenerate window (--window=0) must not divide by zero.
+    return seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
 }
 
 /** One sweep point: a HotQueue with the given geometry. */

@@ -336,6 +336,23 @@ HotQueueProtocol::HotQueueProtocol(SimCheck &check, std::string name,
 {
 }
 
+HotQueueProtocol::~HotQueueProtocol()
+{
+    if (check_.engine().stopRequested())
+        return; // aborted run: slots legitimately stranded mid-flight
+    for (int slot = 0; slot < numSlots_; ++slot) {
+        const SlotShadow &shadow =
+            slots_[static_cast<std::size_t>(slot)];
+        if (shadow.state == State::Free)
+            continue;
+        check_.reportProtocol(
+            "hotqueue '" + name_ + "' slot " + std::to_string(slot) +
+            ": left " + stateName(shadow.state) +
+            " at teardown of a completed run (claimer '" +
+            shadow.claimer + "', server '" + shadow.server + "')");
+    }
+}
+
 const char *
 HotQueueProtocol::stateName(State state)
 {
@@ -468,6 +485,24 @@ HotQueueProtocol::onCursors(std::uint64_t head, std::uint64_t tail)
 HotCallProtocol::HotCallProtocol(SimCheck &check, std::string name)
     : check_(check), name_(std::move(name))
 {
+}
+
+HotCallProtocol::~HotCallProtocol()
+{
+    if (check_.engine().stopRequested())
+        return; // aborted run: channel legitimately stranded mid-call
+    if (locked_) {
+        check_.reportProtocol(
+            "hotcall '" + name_ + "': lock still held by '" + holder_ +
+            "' at teardown of a completed run");
+    }
+    if (go_) {
+        check_.reportProtocol(
+            "hotcall '" + name_ + "': request still in flight" +
+            (serving_ ? " (being served by '" + server_ + "')"
+                      : std::string()) +
+            " at teardown of a completed run");
+    }
 }
 
 void

@@ -247,6 +247,15 @@ class HotQueueProtocol
      */
     HotQueueProtocol(SimCheck &check, std::string name, int num_slots);
 
+    /**
+     * Teardown assertion (fault-aware): when the queue dies after a
+     * run that completed normally, every slot must have come back to
+     * Free — a slot stuck mid-lifecycle means a lost request. An
+     * aborted run (Engine::stop(), fault-injected or not) legitimately
+     * strands slots in any state, so the assertion is skipped then.
+     */
+    ~HotQueueProtocol();
+
     void onClaim(int slot);    //!< Free -> Publishing, by a requester
     void onPublish(int slot);  //!< Publishing -> Ready, by the claimer
     void onGrab(int slot);     //!< Ready -> Serving, by a responder
@@ -298,6 +307,14 @@ class HotCallProtocol
 {
   public:
     HotCallProtocol(SimCheck &check, std::string name);
+
+    /**
+     * Teardown assertion (fault-aware): after a normally completed
+     * run the channel must be quiescent — lock free, no request in
+     * flight. Aborted runs are exempt (the requester or responder was
+     * stranded mid-protocol by Engine::stop()).
+     */
+    ~HotCallProtocol();
 
     void onLock();     //!< lock word taken (must have been free)
     void onUnlock();   //!< lock word released (by the holder)

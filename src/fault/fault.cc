@@ -1,0 +1,212 @@
+/**
+ * @file
+ * FaultInjector implementation.
+ */
+
+#include "fault/fault.hh"
+
+#include <cstdio>
+
+namespace hc::fault {
+
+const char *
+siteName(Site site)
+{
+    switch (site) {
+      case Site::RequesterAttempt: return "requester_attempt";
+      case Site::ResponderOversleep: return "responder_oversleep";
+      case Site::ResponderNeverWake: return "responder_never_wake";
+      case Site::SlotAbortPublishing: return "slot_abort_publishing";
+      case Site::SlotAbortServing: return "slot_abort_serving";
+      case Site::CursorStall: return "cursor_stall";
+      case Site::PortFallback: return "port_fallback";
+      case Site::EpcPressure: return "epc_pressure";
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::quiet(std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.name = "quiet";
+    plan.seed = seed;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::oversleep(std::uint64_t seed, Cycles mean_cycles,
+                     double probability, Cycles stop_at)
+{
+    FaultPlan plan;
+    plan.name = "oversleep";
+    plan.seed = seed;
+    auto &spec = plan.site(Site::ResponderOversleep);
+    spec.probability = probability;
+    spec.delayMean = mean_cycles;
+    auto &stall = plan.site(Site::CursorStall);
+    stall.probability = probability;
+    stall.delayMean = mean_cycles;
+    plan.stopAtCycle = stop_at;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::neverWake(std::uint64_t seed, Cycles not_before,
+                     Cycles stop_at)
+{
+    FaultPlan plan;
+    plan.name = "never_wake";
+    plan.seed = seed;
+    auto &spec = plan.site(Site::ResponderNeverWake);
+    spec.probability = 1.0;
+    spec.maxFires = 1;
+    spec.notBefore = not_before;
+    plan.stopAtCycle = stop_at;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fallbackStorm(std::uint64_t seed, double probability,
+                         Cycles stop_at)
+{
+    FaultPlan plan;
+    plan.name = "fallback_storm";
+    plan.seed = seed;
+    auto &spec = plan.site(Site::RequesterAttempt);
+    spec.probability = probability;
+    auto &port = plan.site(Site::PortFallback);
+    port.probability = probability;
+    plan.stopAtCycle = stop_at;
+    return plan;
+}
+
+FaultInjector::FaultInjector(sim::Engine &engine, FaultPlan plan)
+    : engine_(engine), plan_(std::move(plan)), rng_(plan_.seed ^ 0xfa17)
+{
+}
+
+void
+FaultInjector::requestStop()
+{
+    if (engine_.stopRequested())
+        return;
+    ++stats_.stops;
+    engine_.stop();
+}
+
+void
+FaultInjector::pollStop()
+{
+    if (plan_.stopAtCycle != 0 && engine_.now() >= plan_.stopAtCycle)
+        requestStop();
+}
+
+bool
+FaultInjector::fire(Site site)
+{
+    const auto i = static_cast<std::size_t>(site);
+    ++stats_.visits[i];
+    pollStop();
+    const SiteSpec &spec = plan_.sites[i];
+    if (spec.probability <= 0.0)
+        return false;
+    if (spec.notBefore != 0 && engine_.now() < spec.notBefore)
+        return false;
+    if (spec.maxFires != 0 && stats_.fires[i] >= spec.maxFires)
+        return false;
+    if (!rng_.chance(spec.probability))
+        return false;
+    ++stats_.fires[i];
+    return true;
+}
+
+Cycles
+FaultInjector::delay(Site site)
+{
+    const SiteSpec &spec = plan_.site(site);
+    Cycles stall = 0;
+    if (spec.delayMean > 0) {
+        stall += static_cast<Cycles>(rng_.nextExponential(
+            static_cast<double>(spec.delayMean)));
+    }
+    if (spec.delayJitter > 0)
+        stall += rng_.nextBelow(spec.delayJitter + 1);
+    return stall;
+}
+
+std::string
+FaultInjector::summaryJson() const
+{
+    std::string out = "{";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"plan\": \"%s\", \"seed\": %llu, \"stops\": %llu, "
+                  "\"wakes\": %llu, \"timeouts\": %llu, \"sites\": {",
+                  plan_.name.c_str(),
+                  static_cast<unsigned long long>(plan_.seed),
+                  static_cast<unsigned long long>(stats_.stops),
+                  static_cast<unsigned long long>(stats_.wakes),
+                  static_cast<unsigned long long>(stats_.timeouts));
+    out += buf;
+    bool first = true;
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        if (stats_.visits[i] == 0 && stats_.fires[i] == 0)
+            continue;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\"%s\": {\"visits\": %llu, \"fires\": %llu}",
+            first ? "" : ", ", siteName(static_cast<Site>(i)),
+            static_cast<unsigned long long>(stats_.visits[i]),
+            static_cast<unsigned long long>(stats_.fires[i]));
+        out += buf;
+        first = false;
+    }
+    out += "}}";
+    return out;
+}
+
+void
+FaultInjector::onSpawn(sim::Thread *parent, sim::Thread *child)
+{
+    if (next_)
+        next_->onSpawn(parent, child);
+    ++stats_.spawns;
+}
+
+void
+FaultInjector::onWake(sim::Thread *waker, sim::Thread *woken)
+{
+    if (next_)
+        next_->onWake(waker, woken);
+    ++stats_.wakes;
+    if (plan_.stopAfterWakes != 0 &&
+        stats_.wakes >= plan_.stopAfterWakes) {
+        requestStop();
+    }
+}
+
+void
+FaultInjector::onThreadExit(sim::Thread *thread)
+{
+    if (next_)
+        next_->onThreadExit(thread);
+    ++stats_.exits;
+}
+
+void
+FaultInjector::onTimeout(sim::Thread *thread)
+{
+    if (next_)
+        next_->onTimeout(thread);
+    ++stats_.timeouts;
+}
+
+void
+FaultInjector::onStop()
+{
+    if (next_)
+        next_->onStop();
+}
+
+} // namespace hc::fault

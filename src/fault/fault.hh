@@ -1,0 +1,221 @@
+/**
+ * @file
+ * FaultLine: a deterministic, seed-driven fault-injection harness for
+ * the fallback/teardown plane.
+ *
+ * The HotCalls responsiveness argument rests on its *cold* paths —
+ * the timeout fallback to conventional ecalls/ocalls, responder
+ * sleep/wake handoffs, slot aborts, and teardown of half-finished
+ * protocols — yet steady-state benchmarks exercise them only
+ * incidentally. A FaultPlan names the perturbations to inject
+ * (responder oversleep, never-wake, forced claim expiry, slot aborts,
+ * cursor stalls, port-plane fallbacks, randomized Engine::stop()) and
+ * a FaultInjector applies them at instrumented *sites* threaded
+ * through the hot channels and the porting layer.
+ *
+ * Determinism contract:
+ *  - The injector draws from its own Rng seeded by the plan, never
+ *    from the engine RNG, so a plan cannot perturb the engine's
+ *    draw sequence.
+ *  - A site whose probability is zero draws nothing and charges
+ *    nothing, so a machine with a quiet ("paper-path") plan installed
+ *    is bit-identical to one with no injector at all — the pinned
+ *    determinism digests must (and do) reproduce under it.
+ *  - With no injector installed every site is a single null-pointer
+ *    test; ordinary runs pay nothing.
+ *
+ * The injector is also a sim::EngineObserver *decorator*: Machine
+ * re-wires the engine's single observer slot through it (forwarding
+ * to SimCheck when that layer is on), which lets plans trigger
+ * Engine::stop() at a randomized scheduler wake — perturbing teardown
+ * at points no channel-level site reaches.
+ */
+
+#ifndef HC_FAULT_FAULT_HH
+#define HC_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+
+namespace hc::fault {
+
+/** Named injection sites threaded through the layers. */
+enum class Site {
+    /** A hot-channel claim attempt (HotCallService/HotQueue): firing
+     *  forces the attempt to expire as if the channel were busy. */
+    RequesterAttempt,
+    /** The single-line responder's poll loop: firing stalls it for a
+     *  delay drawn from the site's distribution (oversleep). */
+    ResponderOversleep,
+    /** The single-line responder's poll loop: firing parks it for
+     *  good — it never serves again until the channel (or engine)
+     *  stops. Requesters see a saturated channel forever. */
+    ResponderNeverWake,
+    /** A HotQueue requester that just claimed a slot: firing aborts
+     *  the run (Engine::stop()) with the slot mid-Publishing. */
+    SlotAbortPublishing,
+    /** A HotQueue responder about to complete a grabbed slot: firing
+     *  aborts the run with the slot mid-Serving. */
+    SlotAbortServing,
+    /** The HotQueue responder's poll loop: firing stalls the consumer
+     *  cursor for a delay drawn from the site's distribution. */
+    CursorStall,
+    /** The porting layer's hot-ocall routing: firing bypasses the hot
+     *  channel and takes the conventional SDK ocall instead. */
+    PortFallback,
+    /** EPC pressure spikes: fired by campaign drivers that allocate
+     *  and touch enclave memory when it triggers. */
+    EpcPressure,
+};
+
+/** Number of named sites (array bound). */
+constexpr std::size_t kSiteCount =
+    static_cast<std::size_t>(Site::EpcPressure) + 1;
+
+/** @return the site's stable display name. */
+const char *siteName(Site site);
+
+/** Per-site behaviour of a plan. */
+struct SiteSpec {
+    /** Chance to fire per visit; 0 disables the site entirely (no
+     *  draw, no charge — the determinism contract). */
+    double probability = 0.0;
+    /** Total fire budget; 0 means unlimited. */
+    std::uint64_t maxFires = 0;
+    /** No fires before this virtual time (lets a workload warm up). */
+    Cycles notBefore = 0;
+    /** Mean of the exponential stall magnitude (oversleep, cursor
+     *  stalls); 0 means no exponential component. */
+    Cycles delayMean = 0;
+    /** Uniform extra jitter added on top, in [0, delayJitter]. */
+    Cycles delayJitter = 0;
+};
+
+/** A complete, seed-driven fault schedule. */
+struct FaultPlan {
+    std::string name = "quiet";
+    std::uint64_t seed = 1;
+    SiteSpec sites[kSiteCount];
+    /** Engine::stop() when the injector observes its Nth scheduler
+     *  wake event (0 disables). Randomize via the seed by drawing the
+     *  N; the observer hook makes the stop land at scheduling points
+     *  no channel-level site reaches. */
+    std::uint64_t stopAfterWakes = 0;
+    /** Engine::stop() once virtual time reaches this (0 disables).
+     *  Every campaign plan sets it as a termination backstop: plans
+     *  like never-wake would otherwise spin in virtual time forever. */
+    Cycles stopAtCycle = 0;
+
+    SiteSpec &site(Site s)
+    {
+        return sites[static_cast<std::size_t>(s)];
+    }
+    const SiteSpec &site(Site s) const
+    {
+        return sites[static_cast<std::size_t>(s)];
+    }
+
+    /** A plan with every site disabled: the paper path. A machine
+     *  running under it must be bit-identical to one with no
+     *  injector at all. */
+    static FaultPlan quiet(std::uint64_t seed = 1);
+
+    /** Responder oversleep with exponential stalls of @p mean_cycles
+     *  at @p probability per poll. */
+    static FaultPlan oversleep(std::uint64_t seed, Cycles mean_cycles,
+                               double probability,
+                               Cycles stop_at = 0);
+
+    /** The responder dies after its first fire; requesters must live
+     *  off the SDK fallback until @p stop_at. */
+    static FaultPlan neverWake(std::uint64_t seed, Cycles not_before,
+                               Cycles stop_at);
+
+    /** Force claim attempts to expire with @p probability: a fallback
+     *  storm through the conventional SDK path. */
+    static FaultPlan fallbackStorm(std::uint64_t seed,
+                                   double probability,
+                                   Cycles stop_at = 0);
+};
+
+/** Campaign-visible counters. */
+struct FaultStats {
+    std::uint64_t visits[kSiteCount] = {};
+    std::uint64_t fires[kSiteCount] = {};
+    std::uint64_t stops = 0;    //!< Engine::stop()s this injector issued
+    std::uint64_t wakes = 0;    //!< observer wake events seen
+    std::uint64_t spawns = 0;   //!< observer spawn events seen
+    std::uint64_t exits = 0;    //!< observer thread-exit events seen
+    std::uint64_t timeouts = 0; //!< engine-level waitUntil expiries
+};
+
+/**
+ * The per-Machine injector. Install with mem::Machine::installFault()
+ * (which wires it into the engine observer slot, decorating SimCheck
+ * when present); instrumented sites reach it through
+ * Machine::fault() — null when no plan is installed, so ordinary runs
+ * pay one pointer test per site.
+ */
+class FaultInjector : public sim::EngineObserver
+{
+  public:
+    FaultInjector(sim::Engine &engine, FaultPlan plan);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Forward observer events to @p next (SimCheck) as well. */
+    void setNext(sim::EngineObserver *next) { next_ = next; }
+
+    /**
+     * Visit a site: roll whether the fault fires here. Also polls the
+     * time-based stop trigger, so any instrumented site doubles as a
+     * potential Engine::stop() point.
+     */
+    bool fire(Site site);
+
+    /** Draw a stall magnitude from the site's delay distribution. */
+    Cycles delay(Site site);
+
+    /** Trigger the stopAtCycle backstop if it is due (sites inside
+     *  unbounded waits call this even when their roll is off). */
+    void pollStop();
+
+    /** Abort the run (Engine::stop()), once, counting the stop. The
+     *  slot-abort sites call this to cut a run at a precise protocol
+     *  point (mid-Publishing, mid-Serving). */
+    void requestStop();
+
+    const FaultPlan &plan() const { return plan_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /** One-line JSON summary of the plan and its counters (campaign
+     *  artifacts). */
+    std::string summaryJson() const;
+
+    // ------------------------------------------------------------------
+    // sim::EngineObserver: forward to the decorated observer, then
+    // apply the plan's scheduler-level triggers.
+    // ------------------------------------------------------------------
+
+    void onSpawn(sim::Thread *parent, sim::Thread *child) override;
+    void onWake(sim::Thread *waker, sim::Thread *woken) override;
+    void onThreadExit(sim::Thread *thread) override;
+    void onTimeout(sim::Thread *thread) override;
+    void onStop() override;
+
+  private:
+    sim::Engine &engine_;
+    FaultPlan plan_;
+    Rng rng_;
+    FaultStats stats_;
+    sim::EngineObserver *next_ = nullptr;
+};
+
+} // namespace hc::fault
+
+#endif // HC_FAULT_FAULT_HH

@@ -5,8 +5,8 @@
 
 #include "hotcalls/hotcall.hh"
 
-#include <cstdlib>
-
+#include "fault/fault.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace hc::hotcalls {
@@ -33,10 +33,7 @@ resolveFastPath(int config_value)
 {
     if (config_value >= 0)
         return config_value != 0;
-    const char *env = std::getenv("HC_FASTPATH");
-    if (env && env[0] != '\0')
-        return !(env[0] == '0' && env[1] == '\0');
-    return true;
+    return envFlagOr("HC_FASTPATH", true);
 }
 
 HotCallService::HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
@@ -220,10 +217,21 @@ HotCallService::call(int id, const edl::Args &args)
 
     engine.advance(kRequesterFixed);
 
+    auto *injector = machine_.fault();
     for (int attempt = 0; attempt < config_.timeoutTries; ++attempt) {
+        if (injector &&
+            injector->fire(fault::Site::RequesterAttempt)) {
+            // Forced expiry: behave exactly as if the channel were
+            // busy for this attempt.
+            ++stats_.timeoutAttempts;
+            engine.advance(sdk::kPauseCycles +
+                           injector->delay(fault::Site::RequesterAttempt));
+            continue;
+        }
         // Take the spin-lock (one RFO on the channel line).
         touchChannel(true);
         if (lockWord_) {
+            ++stats_.timeoutAttempts;
             engine.advance(sdk::kPauseCycles +
                            rng.nextBelow(config_.pollJitter + 1));
             continue;
@@ -239,6 +247,7 @@ HotCallService::call(int id, const edl::Args &args)
         // which is too early to recycle the staging).
         touchChannel(false);
         if (go_ || slotBusy_) {
+            ++stats_.timeoutAttempts;
             lockWord_ = false;
             if (protocol_)
                 protocol_->onUnlock();
@@ -325,8 +334,16 @@ HotCallService::call(int id, const edl::Args &args)
             touchChannel(false);
             if (!go_)
                 break;
+            if (injector)
+                injector->pollStop(); // time-based abort backstop
             if (engine.stopRequested()) {
                 ++stats_.aborts;
+                if (fast_call) {
+                    // Release the staging claim: the responder is
+                    // stranded, nothing will harvest on our behalf.
+                    usedArena_ = false;
+                    slotBusy_ = false;
+                }
                 return 0;
             }
             engine.advance(sdk::kPauseCycles +
@@ -440,9 +457,28 @@ HotCallService::responderLoop()
         platform.eenter(runtime_.enclave(), *tcs);
     }
 
+    auto *injector = machine_.fault();
     std::uint64_t idle_polls = 0;
     while (!stopRequested_) {
         ++stats_.responderPolls;
+
+        if (injector) {
+            if (injector->fire(fault::Site::ResponderNeverWake)) {
+                // Park for good: requesters see a saturated channel
+                // until the channel (or the engine) stops. Stepped so
+                // the stopAtCycle backstop can still fire.
+                while (!stopRequested_ && !engine.stopRequested()) {
+                    injector->pollStop();
+                    engine.advance(sdk::kPauseCycles * 16);
+                    engine.yield();
+                }
+                continue;
+            }
+            if (injector->fire(fault::Site::ResponderOversleep)) {
+                engine.advance(
+                    injector->delay(fault::Site::ResponderOversleep));
+            }
+        }
 
         // Try the lock; on failure just PAUSE and retry.
         touchChannel(true);

@@ -116,8 +116,11 @@ struct HotCallConfig {
 /** Run statistics of a HotCall service. */
 struct HotCallStats {
     std::uint64_t calls = 0;        //!< completed via the channel
-    std::uint64_t fallbacks = 0;    //!< timed out -> SDK path
+    std::uint64_t fallbacks = 0;    //!< timed out -> SDK path (counted
+                                    //!< once per logical call, however
+                                    //!< many attempts expired)
     std::uint64_t aborts = 0;       //!< completion wait cut short by stop
+    std::uint64_t timeoutAttempts = 0; //!< individual expired attempts
     std::uint64_t responderPolls = 0;
     std::uint64_t responderSleeps = 0;
     std::uint64_t wakeups = 0;

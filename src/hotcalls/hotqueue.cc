@@ -15,6 +15,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hh"
 #include "support/logging.hh"
 
 namespace hc::hotcalls {
@@ -272,7 +273,23 @@ HotQueue::call(int id, const edl::Args &args)
 
     engine.advance(kRequesterFixed);
 
+    auto *injector = machine_.fault();
+    // At most one *successful* scale-up wake per logical call: a call
+    // that burns several failed claim attempts back-to-back used to
+    // signal (and count a scale-up) once per attempt, inflating the
+    // scale statistics and thrashing the parked pool.
+    bool scale_woken = false;
     for (int attempt = 0; attempt < config_.timeoutTries; ++attempt) {
+        if (injector &&
+            injector->fire(fault::Site::RequesterAttempt)) {
+            // Forced expiry: behave exactly as if the claim failed.
+            ++stats_.timeoutAttempts;
+            if (!scale_woken)
+                scale_woken = wakeOneResponder(true);
+            engine.advance(sdk::kPauseCycles +
+                           injector->delay(fault::Site::RequesterAttempt));
+            continue;
+        }
         // Probe the producer cursor and the slot it points at.
         touchTail(false);
         const std::uint64_t ticket = tail_;
@@ -284,8 +301,10 @@ HotQueue::call(int id, const edl::Args &args)
         // between — the simulation-level equivalent of cmpxchg.
         if (tail_ != ticket || slot.state != SlotState::Free) {
             // Ring full or claim lost: more load than the active
-            // pool drains; try to grow it.
-            wakeOneResponder(true);
+            // pool drains; try to grow it (once per logical call).
+            ++stats_.timeoutAttempts;
+            if (!scale_woken)
+                scale_woken = wakeOneResponder(true);
             engine.advance(sdk::kPauseCycles +
                            rng.nextBelow(config_.pollJitter + 1));
             continue;
@@ -298,6 +317,15 @@ HotQueue::call(int id, const edl::Args &args)
         }
         stats_.depth.add(pending());
         touchTail(true); // publish the cursor
+
+        if (injector &&
+            injector->fire(fault::Site::SlotAbortPublishing)) {
+            // Abort the run with this slot mid-Publishing: teardown
+            // must cope with a claimed-but-never-published entry.
+            injector->requestStop();
+            ++stats_.aborts;
+            return 0;
+        }
 
         // Marshal into the claimed slot (a HotOcall requester runs
         // the same edger8r-generated trusted wrapper the SDK would).
@@ -347,9 +375,10 @@ HotQueue::call(int id, const edl::Args &args)
         touchSlot(idx, true); // publish *data, call_ID, ready flag
 
         // More backlog than the active responders drain promptly:
-        // wake a parked pool member (configless-style scale-up).
-        if (pending() >= scaleUpDepth())
-            wakeOneResponder(true);
+        // wake a parked pool member (configless-style scale-up),
+        // unless this call already grew the pool.
+        if (pending() >= scaleUpDepth() && !scale_woken)
+            scale_woken = wakeOneResponder(true);
 
         // Wait for completion: a responder marks the slot done once
         // it has executed the call and filled the response. Once the
@@ -361,6 +390,8 @@ HotQueue::call(int id, const edl::Args &args)
             touchSlot(idx, false);
             if (slot.state == SlotState::Done)
                 break;
+            if (injector)
+                injector->pollStop(); // time-based abort backstop
             if (engine.stopRequested()) {
                 ++stats_.aborts;
                 return 0;
@@ -403,9 +434,11 @@ HotQueue::call(int id, const edl::Args &args)
 
     // The ring stayed full for `timeoutTries` probes: fall back to
     // the conventional SDK call (starvation prevention, Section 4.2)
-    // and make sure the pool scales up for the next burst.
+    // and make sure the pool scales up for the next burst — unless
+    // one of the failed attempts above already woke a responder.
     ++stats_.fallbacks;
-    wakeOneResponder(true);
+    if (!scale_woken)
+        wakeOneResponder(true);
     return is_ocall ? runtime_.ocall(id, args)
                     : runtime_.ecall(id, args);
 }
@@ -505,9 +538,18 @@ HotQueue::tryServeBatch()
 
     // Serve the whole batch before re-polling: the channel-line
     // coherence transfers above amortize over all k entries.
+    auto *injector = machine_.fault();
     for (std::size_t idx : batch) {
         Slot &slot = slots_[idx];
         touchSlot(idx, false); // read call_ID and *data
+        if (injector &&
+            injector->fire(fault::Site::SlotAbortServing)) {
+            // Abort the run with this slot mid-Serving: the requester
+            // spinning on it takes the abort exit, teardown copes
+            // with a grabbed-but-never-completed entry.
+            injector->requestStop();
+            return static_cast<int>(batch.size());
+        }
         serveRequest(idx);
         slot.state = SlotState::Done;
         if (protocol_)
@@ -542,19 +584,22 @@ HotQueue::parkResponder(bool scale_event)
     return true;
 }
 
-void
+bool
 HotQueue::wakeOneResponder(bool scale_event)
 {
     if (parked_ == 0)
-        return;
+        return false;
+    bool signalled = false;
     poolMutex_.lock();
     if (parked_ > 0) {
         poolCond_.signal();
         ++stats_.wakeups;
         if (scale_event)
             ++stats_.scaleUps;
+        signalled = true;
     }
     poolMutex_.unlock();
+    return signalled;
 }
 
 void
@@ -587,11 +632,17 @@ HotQueue::responderLoop(int index)
     // occupancy is measured in busy TIME, not busy polls: idle polls
     // are far shorter than served batches, so a poll-count fraction
     // would look idle even on a saturated ring.
+    auto *injector = machine_.fault();
     std::uint64_t window_polls = 0;
     Cycles window_busy = 0;
     Cycles window_start = machine_.now();
     while (!stopRequested_) {
         ++stats_.responderPolls;
+        if (injector && injector->fire(fault::Site::CursorStall)) {
+            // The consumer cursor goes quiet for a while: the ring
+            // fills, requesters hit the claim timeout and fall back.
+            engine.advance(injector->delay(fault::Site::CursorStall));
+        }
         const Cycles poll_start = machine_.now();
         const int served = tryServeBatch();
         ++window_polls;

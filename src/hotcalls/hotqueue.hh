@@ -88,8 +88,11 @@ struct HotQueueConfig {
 /** Run statistics of a HotQueue. */
 struct HotQueueStats {
     std::uint64_t calls = 0;     //!< completed via the ring
-    std::uint64_t fallbacks = 0; //!< timed out -> SDK path
+    std::uint64_t fallbacks = 0; //!< timed out -> SDK path (counted
+                                 //!< once per logical call, however
+                                 //!< many attempts expired)
     std::uint64_t aborts = 0;    //!< completion wait cut short by stop
+    std::uint64_t timeoutAttempts = 0; //!< individual expired attempts
     std::uint64_t responderPolls = 0;
     std::uint64_t batches = 0; //!< channel acquisitions that served
     std::uint64_t wakeups = 0; //!< parked-responder signals
@@ -199,8 +202,12 @@ class HotQueue : public Channel
     bool parkResponder(bool scale_event);
 
     /** Wake one parked responder, if any; counts a scale-up when
-     *  @p scale_event. */
-    void wakeOneResponder(bool scale_event);
+     *  @p scale_event. @return true when a responder was actually
+     *  signalled — callers limit themselves to one successful
+     *  scale-up wake per logical call, so a call that burns several
+     *  claim attempts back-to-back cannot inflate the scale
+     *  statistics (or thrash the pool) once per attempt. */
+    bool wakeOneResponder(bool scale_event);
 
     /** Priced accesses to the simulated control lines. */
     void touchSlot(std::size_t index, bool write);

@@ -6,25 +6,12 @@
 #include "mem/machine.hh"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstring>
 
+#include "fault/fault.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace hc::mem {
-
-namespace {
-
-/** @return true when the HC_CHECK environment variable asks for the
- *  checker (set, non-empty and not "0"). */
-bool
-envWantsCheck()
-{
-    const char *env = std::getenv("HC_CHECK");
-    return env && *env && std::strcmp(env, "0") != 0;
-}
-
-} // anonymous namespace
 
 Machine::Machine(MachineConfig config)
     : config_(config), engine_(config.engine),
@@ -32,7 +19,7 @@ Machine::Machine(MachineConfig config)
       memory_(engine_, space_, config.mem, config.engine.seed ^ 0x5367)
 {
     check::CheckConfig cc = config_.check;
-    if (!cc.enabled && envWantsCheck()) {
+    if (!cc.enabled && envFlagOr("HC_CHECK", false)) {
         // Environment-driven runs (HC_CHECK=1 ctest ...) fail loudly;
         // explicit configuration (seeded-violation tests) wins and
         // keeps its record-only default.
@@ -61,6 +48,18 @@ Machine::~Machine()
     engine_.setObserver(nullptr);
     memory_.setCheck(nullptr);
     space_.setFreeHook(nullptr);
+}
+
+void
+Machine::installFault(fault::FaultInjector *injector)
+{
+    fault_ = injector;
+    if (injector) {
+        injector->setNext(check_.get());
+        engine_.setObserver(injector);
+    } else {
+        engine_.setObserver(check_.get());
+    }
 }
 
 void

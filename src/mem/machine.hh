@@ -20,6 +20,10 @@
 #include "mem/memory.hh"
 #include "sim/engine.hh"
 
+namespace hc::fault {
+class FaultInjector;
+}
+
 namespace hc::mem {
 
 /** Configuration of a simulated machine. */
@@ -52,6 +56,20 @@ class Machine
     /** @return the SimCheck layer, or null when checking is off. */
     check::SimCheck *check() { return check_.get(); }
 
+    /**
+     * Install (or, with null, remove) a fault injector. The injector
+     * takes over the engine's observer slot, decorating SimCheck when
+     * that layer is on, and becomes visible to the instrumented fault
+     * sites through fault(). The injector must outlive the
+     * installation (remove it before destroying it); campaigns use a
+     * scope guard for that.
+     */
+    void installFault(fault::FaultInjector *injector);
+
+    /** @return the installed fault injector, or null (ordinary runs:
+     *  every fault site is a single null test). */
+    fault::FaultInjector *fault() { return fault_; }
+
     /** Run the unfreed-allocation audit now (it also runs once at
      *  destruction). No-op when checking is off. */
     void auditLeaksNow();
@@ -68,6 +86,7 @@ class Machine
     AddressSpace space_;
     MemoryModel memory_;
     std::unique_ptr<check::SimCheck> check_;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace hc::mem

@@ -5,6 +5,7 @@
 
 #include "port/port.hh"
 
+#include "fault/fault.hh"
 #include "support/logging.hh"
 
 namespace hc::port {
@@ -233,6 +234,14 @@ PortedApp::osCall(const std::string &name, const edl::Args &args)
     const int id = runtime_->ocallId(name);
     if (config_.mode == Mode::SgxHotCalls &&
         hotById_[static_cast<std::size_t>(id)]) {
+        auto *injector = kernel_.machine().fault();
+        if (injector &&
+            injector->fire(fault::Site::PortFallback)) {
+            // Fault plan reroutes this hot-eligible ocall down the
+            // conventional SDK path (fallback-plane storm).
+            ++forcedFallbacks_;
+            return runtime_->ocall(id, args);
+        }
         return hotOcalls_->call(id, args);
     }
     return runtime_->ocall(id, args);

@@ -203,6 +203,10 @@ class PortedApp
     /** Reset the counters (between warmup and measurement). */
     void resetCounters();
 
+    /** @return hot-eligible ocalls forced down the conventional SDK
+     *  path by an installed fault plan (PortFallback site). */
+    std::uint64_t forcedFallbacks() const { return forcedFallbacks_; }
+
     /** @return the SGX runtime (SGX modes only). */
     sdk::EnclaveRuntime &runtime() { return *runtime_; }
 
@@ -228,6 +232,8 @@ class PortedApp
     std::map<std::string, std::uint64_t> inEnclaveCounts_;
     /** Cached ocall-id -> hot routing decision. */
     std::vector<bool> hotById_;
+    /** Hot-eligible ocalls rerouted to the SDK path by a fault plan. */
+    std::uint64_t forcedFallbacks_ = 0;
     /** Scratch staging for epoll/poll fd arrays (EPC under SGX). */
     std::unique_ptr<mem::Buffer> fdScratch_;
 };

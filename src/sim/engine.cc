@@ -223,6 +223,11 @@ Engine::run()
             timeout_thread->hasTimeout_ = false;
             dropTimedWaiter(timeout_thread);
             timeout_thread->timedOut_ = true;
+            // Expiry creates no ordering edge (nobody notified), but
+            // observers that count scheduling perturbations (the
+            // fault-injection layer) still want to see it.
+            if (observer_)
+                observer_->onTimeout(timeout_thread);
             makeReady(timeout_thread, sel.timeoutTime);
             continue;
         }

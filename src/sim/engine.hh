@@ -138,11 +138,20 @@ class EngineObserver
 
     /** @p woken leaves a WaitQueue because @p waker notified it;
      *  @p waker is null when the notify came from outside the
-     *  simulation. Timeout expiries emit no event (no ordering). */
+     *  simulation. Timeout expiries emit onTimeout instead (they
+     *  carry no ordering). */
     virtual void onWake(Thread *waker, Thread *woken) = 0;
 
     /** @p thread's body returned. */
     virtual void onThreadExit(Thread *thread) = 0;
+
+    /** @p thread's waitUntil() deadline expired (no ordering edge:
+     *  nobody notified it). Default: ignored. */
+    virtual void onTimeout(Thread *thread) { (void)thread; }
+
+    /** Engine::stop() was requested (first request only). Default:
+     *  ignored. */
+    virtual void onStop() {}
 };
 
 /** The discrete-event engine. */
@@ -184,7 +193,12 @@ class Engine
     void run();
 
     /** Request run() to return at the next scheduling point. */
-    void stop() { stopRequested_ = true; }
+    void stop()
+    {
+        if (!stopRequested_ && observer_)
+            observer_->onStop();
+        stopRequested_ = true;
+    }
 
     /** @return true once stop() has been called. */
     bool stopRequested() const { return stopRequested_; }

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Implementation of strict environment-flag parsing.
+ */
+
+#include "support/env.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace hc {
+
+namespace {
+
+std::string
+lowered(const char *s)
+{
+    std::string out;
+    for (; *s; ++s)
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*s))));
+    return out;
+}
+
+/** Variables already warned about (one warning per name, not one per
+ *  query: the hot paths resolve flags repeatedly). */
+std::set<std::string> &
+warnedSet()
+{
+    static std::set<std::string> warned;
+    return warned;
+}
+
+} // anonymous namespace
+
+EnvFlag
+envFlag(const char *name)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || raw[0] == '\0')
+        return EnvFlag::Unset;
+    const std::string v = lowered(raw);
+    if (v == "0" || v == "false" || v == "off" || v == "no")
+        return EnvFlag::Off;
+    if (v == "1" || v == "true" || v == "on" || v == "yes")
+        return EnvFlag::On;
+    if (warnedSet().insert(name).second) {
+        warn("%s='%s' is not a recognized boolean "
+             "(0/1/true/false/on/off/yes/no); treating it as unset",
+             name, raw);
+    }
+    return EnvFlag::Unset;
+}
+
+bool
+envFlagOr(const char *name, bool fallback)
+{
+    switch (envFlag(name)) {
+      case EnvFlag::Off:
+        return false;
+      case EnvFlag::On:
+        return true;
+      case EnvFlag::Unset:
+        break;
+    }
+    return fallback;
+}
+
+} // namespace hc

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 
 #include "support/logging.hh"
@@ -67,8 +68,16 @@ SampleSet::max() const
 double
 SampleSet::percentile(double p) const
 {
-    hc_assert(!samples_.empty());
-    hc_assert(p >= 0.0 && p <= 100.0);
+    // An empty set has no percentiles: report NaN instead of
+    // aborting. Fault-injected and all-fallback runs legitimately end
+    // with zero channel-latency samples, and a stats query must not
+    // take the whole campaign down.
+    if (samples_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    // Out-of-range ranks clamp to the extremes (p<0 -> min,
+    // p>100 -> max); a NaN p has no defined rank at all.
+    hc_assert(!std::isnan(p));
+    p = std::clamp(p, 0.0, 100.0);
     ensureSorted();
     // Linear interpolation between closest ranks (type-7 quantile,
     // matching numpy's default).

@@ -52,8 +52,10 @@ class SampleSet
     double median() const { return percentile(50.0); }
 
     /**
-     * @return the value at percentile @p p in [0, 100], using
-     * nearest-rank interpolation. Panics when empty.
+     * @return the value at percentile @p p, using nearest-rank
+     * interpolation. @p p is clamped into [0, 100]; an empty set
+     * yields NaN (not an abort — empty latency sets are routine in
+     * all-fallback and fault-injected runs).
      */
     double percentile(double p) const;
 

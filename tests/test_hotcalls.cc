@@ -224,6 +224,42 @@ TEST(HotCalls, FallbackWhenResponderSaturated)
     engine.run();
 }
 
+TEST(HotCalls, FallbackCountedOncePerLogicalCall)
+{
+    // Regression: however many back-to-back attempts expire, one
+    // logical call that takes the SDK path must count exactly ONE
+    // fallback — while timeoutAttempts records every expired attempt
+    // individually.
+    Fixture f;
+    f.runtime.registerEcall("ecall_empty", [&](edl::StagedCall &) {
+        f.machine.engine().advance(3'000'000); // hog the responder
+    });
+    HotCallConfig config;
+    config.timeoutTries = 7;
+    HotCallService hot(f.runtime, Kind::HotEcall, 1, config);
+    auto &engine = f.machine.engine();
+
+    hot.start();
+    engine.spawn("hog", 2, [&] {
+        hot.call("ecall_empty", {});
+    });
+    engine.spawn("victim", 3, [&] {
+        engine.sleepFor(200'000); // responder is mid-call now
+        const std::uint64_t r = hot.call(
+            "ecall_add", {edl::Arg::value(20), edl::Arg::value(22)});
+        EXPECT_EQ(r, 42u);
+        // The victim burned all its attempts on the busy channel:
+        // every one counted as an expired attempt, the call as a
+        // single fallback.
+        EXPECT_EQ(hot.stats().fallbacks, 1u);
+        EXPECT_EQ(hot.stats().timeoutAttempts,
+                  static_cast<std::uint64_t>(config.timeoutTries));
+        hot.stop();
+        engine.stop();
+    });
+    engine.run();
+}
+
 TEST(HotCalls, SharedResponderServesManyRequesters)
 {
     Fixture f;

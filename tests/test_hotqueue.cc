@@ -243,6 +243,49 @@ TEST(HotQueue, FallbackWhenRingSaturated)
     engine.run();
 }
 
+TEST(HotQueue, ScaleWakeCountedOncePerLogicalCall)
+{
+    // Regression: a call that burns several failed claim attempts
+    // back-to-back used to fire wakeOneResponder once per ATTEMPT,
+    // waking (and counting a scale-up for) every parked pool member.
+    // One logical call now performs at most one successful scale-up
+    // wake and counts exactly one fallback, however many attempts
+    // expired.
+    Fixture f;
+    f.runtime.registerEcall("ecall_empty", [&](edl::StagedCall &) {
+        f.machine.engine().advance(3'000'000); // hog the responder
+    });
+    HotQueueConfig config;
+    config.numSlots = 1; // the hog's slot blocks every claim
+    config.timeoutTries = 8;
+    config.responderCores = {1, 2, 3}; // two parked pool members
+    config.minResponders = 1;
+    HotQueue hot(f.runtime, Kind::HotEcall, config);
+    auto &engine = f.machine.engine();
+
+    hot.start();
+    engine.spawn("hog", 4, [&] {
+        hot.call("ecall_empty", {}); // occupies slot and responder
+    });
+    engine.spawn("victim", 5, [&] {
+        engine.sleepFor(200'000); // responder is mid-call now
+        const std::uint64_t r = hot.call(
+            "ecall_add", {edl::Arg::value(20), edl::Arg::value(22)});
+        EXPECT_EQ(r, 42u); // still served, via the SDK fallback
+        // All claim attempts expired; the call counted one fallback
+        // and woke ONE parked responder (the pre-fix code woke the
+        // second parked member on the next attempt too).
+        EXPECT_EQ(hot.stats().fallbacks, 1u);
+        EXPECT_EQ(hot.stats().timeoutAttempts,
+                  static_cast<std::uint64_t>(config.timeoutTries));
+        EXPECT_EQ(hot.stats().scaleUps, 1u);
+        EXPECT_EQ(hot.stats().wakeups, 1u);
+        hot.stop();
+        engine.stop();
+    });
+    engine.run();
+}
+
 TEST(HotQueue, AdaptivePoolScalesUpAndDown)
 {
     Fixture f;

@@ -1,13 +1,16 @@
 /**
  * @file
  * Unit tests for the support substrate: RNG, statistics, hashing,
- * units, and the table printer.
+ * units, environment flags, and the table printer.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <set>
 
+#include "support/env.hh"
 #include "support/hash.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
@@ -166,6 +169,25 @@ TEST(SampleSet, EmptyBehaviour)
     EXPECT_EQ(s.summary(), "(no samples)");
 }
 
+TEST(SampleSet, PercentileEdgeCases)
+{
+    // An empty set has no percentiles: NaN, not an abort. Fault-
+    // injected and all-fallback runs legitimately end with zero
+    // channel-latency samples.
+    SampleSet empty;
+    EXPECT_TRUE(std::isnan(empty.percentile(50)));
+
+    // Out-of-range ranks clamp to the extremes instead of indexing
+    // outside the sample vector.
+    SampleSet s;
+    for (int i = 1; i <= 10; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(250), 10.0);
+}
+
 TEST(RunningStats, MatchesDirectComputation)
 {
     RunningStats stats;
@@ -281,4 +303,54 @@ TEST(TextTable, NumFormatting)
 {
     EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
     EXPECT_EQ(TextTable::num(10, 0), "10");
+}
+
+// ----------------------------------------------------------------------
+// Environment flags. The historical per-call-site parses were lenient
+// in contradictory ways ("anything but '0' is on"), so HC_FASTPATH=off
+// silently ENABLED the fast path; envFlag() is the strict replacement.
+// ----------------------------------------------------------------------
+
+TEST(EnvFlag, RecognizedLiterals)
+{
+    const struct {
+        const char *value;
+        EnvFlag expect;
+    } table[] = {
+        {"1", EnvFlag::On},      {"true", EnvFlag::On},
+        {"TRUE", EnvFlag::On},   {"on", EnvFlag::On},
+        {"Yes", EnvFlag::On},    {"0", EnvFlag::Off},
+        {"false", EnvFlag::Off}, {"False", EnvFlag::Off},
+        {"OFF", EnvFlag::Off},   {"no", EnvFlag::Off},
+        // Empty, garbage, and near-misses must all be Unset so the
+        // caller's default applies (a typo must not flip a feature).
+        {"", EnvFlag::Unset},    {"ture", EnvFlag::Unset},
+        {"2", EnvFlag::Unset},   {" 1", EnvFlag::Unset},
+        {"yes!", EnvFlag::Unset},
+    };
+    for (const auto &row : table) {
+        ::setenv("HC_TEST_FLAG", row.value, 1);
+        EXPECT_EQ(envFlag("HC_TEST_FLAG"), row.expect)
+            << "value '" << row.value << "'";
+    }
+    ::unsetenv("HC_TEST_FLAG");
+    EXPECT_EQ(envFlag("HC_TEST_FLAG"), EnvFlag::Unset);
+}
+
+TEST(EnvFlag, FallbackAppliesOnlyWhenUnset)
+{
+    ::unsetenv("HC_TEST_FLAG2");
+    EXPECT_TRUE(envFlagOr("HC_TEST_FLAG2", true));
+    EXPECT_FALSE(envFlagOr("HC_TEST_FLAG2", false));
+
+    ::setenv("HC_TEST_FLAG2", "off", 1);
+    EXPECT_FALSE(envFlagOr("HC_TEST_FLAG2", true));
+    ::setenv("HC_TEST_FLAG2", "on", 1);
+    EXPECT_TRUE(envFlagOr("HC_TEST_FLAG2", false));
+
+    // Garbage behaves exactly like absent: the fallback wins.
+    ::setenv("HC_TEST_FLAG2", "garbage", 1);
+    EXPECT_TRUE(envFlagOr("HC_TEST_FLAG2", true));
+    EXPECT_FALSE(envFlagOr("HC_TEST_FLAG2", false));
+    ::unsetenv("HC_TEST_FLAG2");
 }
