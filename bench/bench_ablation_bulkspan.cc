@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Ablation: the BulkSpan plane (range-batched probes through the
+ * cache + MEE models) against per-line readBuffer/writeBuffer loops.
+ * Sweeps span size x memory domain x plane; the golden-digest
+ * harness (tests/test_determinism.cc) guarantees both planes return
+ * bit-identical simulated cycles and stats, so this benchmark only
+ * measures host throughput.
+ *
+ * Scenarios:
+ *  - buffer sweep: the bench_host_simspeed encrypted-sweep body at
+ *    each size/domain, plane on vs off,
+ *  - marshalled ecall: an [in,out] payload through the SDK call
+ *    path, documenting that the marshalling span hooks are
+ *    cycle-neutral (the plane moves host time only),
+ *
+ * plus a self-check (after the benchmarks) asserting the plane's
+ * headline claim: >= 3x host speedup on the 256 KiB EPC sweep. The
+ * binary exits non-zero when the claim fails, so CI catches a
+ * regressed fast path without parsing benchmark output.
+ *
+ * google-benchmark binary: --benchmark_format=json or
+ * --benchmark_out=PATH emit machine-readable rows (CI artifact).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace hc;
+using namespace hc::bench;
+
+namespace {
+
+/** The encrypted-sweep body shared with bench_host_simspeed. */
+void
+sweepOnce(mem::Machine &machine, mem::Domain domain,
+          std::uint64_t bytes, int passes)
+{
+    machine.engine().spawn("sweep", 0, [&] {
+        mem::Buffer buf(machine, domain, bytes);
+        for (int i = 0; i < passes; ++i) {
+            buf.read();
+            buf.write(i % 8 == 7);
+            if (i % 16 == 15) {
+                machine.memory().evictAll();
+                machine.memory().mee().clearNodeCache();
+            }
+        }
+    });
+    machine.engine().run();
+}
+
+/** Args: {bytes, domain (1 = EPC), bulk-span plane (1 = on)}. */
+void
+BM_BulkSpanBufferSweep(benchmark::State &state)
+{
+    const auto bytes = static_cast<std::uint64_t>(state.range(0));
+    const auto domain =
+        state.range(1) ? mem::Domain::Epc : mem::Domain::Untrusted;
+    const bool bulk = state.range(2) != 0;
+    constexpr int kPasses = 50;
+    double passes = 0;
+    for (auto _ : state) {
+        mem::MachineConfig config;
+        config.engine.numCores = 8;
+        config.engine.seed = 42;
+        mem::Machine machine(config);
+        machine.memory().setBulkSpan(bulk);
+        sweepOnce(machine, domain, bytes, kPasses);
+        passes += kPasses;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(passes));
+}
+BENCHMARK(BM_BulkSpanBufferSweep)
+    ->ArgsProduct({{4096, 65536, 262144, 1048576}, {0, 1}, {0, 1}});
+
+/** Args: {payload bytes, bulk-span plane (1 = on)}. */
+void
+BM_BulkSpanMarshalEcall(benchmark::State &state)
+{
+    const auto bytes = static_cast<std::uint64_t>(state.range(0));
+    const bool bulk = state.range(1) != 0;
+    constexpr int kCalls = 64;
+    double calls = 0;
+    for (auto _ : state) {
+        TestBed bed(/*with_interrupts=*/false);
+        bed.machine->memory().setBulkSpan(bulk);
+        bed.machine->engine().spawn("caller", 0, [&] {
+            mem::Buffer buf(*bed.machine, mem::Domain::Untrusted,
+                            bytes);
+            const edl::Args args = {edl::Arg::buffer(buf),
+                                    edl::Arg::value(bytes)};
+            for (int i = 0; i < kCalls; ++i)
+                bed.runtime->ecall("ecall_buf_inout", args);
+        });
+        bed.machine->engine().run();
+        calls += kCalls;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(calls));
+}
+BENCHMARK(BM_BulkSpanMarshalEcall)
+    ->ArgsProduct({{2048, 65536}, {0, 1}});
+
+/**
+ * Best-of-@p reps host seconds for the exact
+ * BM_SimEncryptedBufferSweep/262144 body (bench_host_simspeed.cc):
+ * an EPC and an untrusted buffer swept together — the workload the
+ * headline >= 3x claim is made on.
+ */
+double
+sweepSeconds(bool bulk, int reps)
+{
+    using Clock = std::chrono::steady_clock;
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        mem::MachineConfig config;
+        config.engine.numCores = 8;
+        config.engine.seed = 42;
+        mem::Machine machine(config);
+        machine.memory().setBulkSpan(bulk);
+        const auto t0 = Clock::now();
+        machine.engine().spawn("sweep", 0, [&] {
+            mem::Buffer enc(machine, mem::Domain::Epc, 262144);
+            mem::Buffer plain(machine, mem::Domain::Untrusted,
+                              262144);
+            for (int i = 0; i < 50; ++i) {
+                enc.read();
+                enc.write(i % 8 == 7);
+                plain.read();
+                plain.write(false);
+                if (i % 16 == 15) {
+                    machine.memory().evictAll();
+                    machine.memory().mee().clearNodeCache();
+                }
+            }
+        });
+        machine.engine().run();
+        const std::chrono::duration<double> dt = Clock::now() - t0;
+        if (dt.count() < best)
+            best = dt.count();
+    }
+    return best;
+}
+
+/** The headline claim: >= 3x on the 256 KiB EPC sweep. */
+int
+selfCheck()
+{
+#ifndef NDEBUG
+    // Assert-heavy debug builds skew both planes; the claim is about
+    // the release simulator (check_simspeed.py gates that build too).
+    std::printf("bulkspan_selfcheck: skipped (debug build)\n");
+    return 0;
+#else
+    const double off = sweepSeconds(/*bulk=*/false, 3);
+    const double on = sweepSeconds(/*bulk=*/true, 3);
+    const double speedup = off / on;
+    std::printf("bulkspan_selfcheck: off=%.1fms on=%.1fms "
+                "speedup=%.2fx (need >= 3x)\n",
+                off * 1e3, on * 1e3, speedup);
+    if (speedup < 3.0) {
+        std::fprintf(stderr,
+                     "bulkspan_selfcheck FAILED: %.2fx < 3x\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+#endif
+}
+
+} // anonymous namespace
+
+int main(int argc, char **argv) {
+#ifdef NDEBUG
+    benchmark::AddCustomContext("hc_build_type", "release");
+#else
+    benchmark::AddCustomContext("hc_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return selfCheck();
+}

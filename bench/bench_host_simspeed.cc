@@ -200,7 +200,11 @@ BM_SimEncryptedBufferSweep(benchmark::State &state)
     }
     reportSimRate(state, sim_cycles, passes);
 }
-BENCHMARK(BM_SimEncryptedBufferSweep)->Arg(2048)->Arg(32768)->Arg(262144);
+BENCHMARK(BM_SimEncryptedBufferSweep)
+    ->Arg(2048)
+    ->Arg(32768)
+    ->Arg(262144)
+    ->Arg(1048576);
 
 // Stamp the build type of *this* binary (the system benchmark
 // library's own library_build_type says how the .so was compiled,

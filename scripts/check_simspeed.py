@@ -83,9 +83,16 @@ def main(argv):
             failed = True
         print(f"{name}: {base[name]:.0f} -> {cur[name]:.0f} items/s "
               f"({ratio:.2f}x) {status}")
+    # Warn-and-skip benchmarks present on one side only: a benchmark
+    # added since the baseline was recorded (or retired from the
+    # suite) is loud in the transcript but never an error — the
+    # baseline regeneration, not this check, is where the set syncs.
     for name in sorted(set(base) ^ set(cur)):
         side = "baseline" if name in base else "current"
-        print(f"{name}: only in {side} (ignored)")
+        other = "current" if name in base else "baseline"
+        print(f"WARNING: {name}: only in {side}, missing from "
+              f"{other} — skipped (regenerate the baseline to sync)",
+              file=sys.stderr)
 
     if failed:
         print(f"simspeed regression beyond {tolerance:.0%} tolerance",

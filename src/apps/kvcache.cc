@@ -211,10 +211,10 @@ KvCacheServer::processRequest(int worker, KvOp op, std::uint64_t key,
             fastHash64(value, std::min<std::uint32_t>(value_len, 64));
     } else {
         // Fetch the value: stream it out of the dataset and build
-        // the response in the reply buffer.
+        // the response in the reply buffer (a bulk-span slice past
+        // the response header).
         memory.readBuffer(value_addr, config_.valueSize);
-        memory.writeBuffer(respBuf.addr() +
-                               KvProtocol::kResponseHeader,
+        respBuf.writeRange(KvProtocol::kResponseHeader,
                            config_.valueSize);
         // Functional payload: echo the stored fingerprint so clients
         // can verify data integrity end to end.

@@ -220,6 +220,34 @@ SimCheck::onWordAccess(Addr addr, bool write)
 }
 
 void
+SimCheck::onSpanAccess(Addr addr, std::uint64_t len, bool write)
+{
+    if (len == 0)
+        return;
+    sim::Thread *self = engine_.currentThread();
+    if (!self)
+        return; // host-side setup: single-threaded by construction
+
+    // Bulk payload bytes are deliberately not race-tracked per word
+    // (stream-priced data; per-word shadowing of megabyte transfers
+    // would also be prohibitive). Registered sync words keep their
+    // atomic semantics even when a range op sweeps over them, so a
+    // span through a channel's lines still orders like the word ops
+    // in onWordAccess() would.
+    const Addr end = addr + len; // == 0 when the span ends at the top
+    for (auto it = syncWords_.lower_bound(addr);
+         it != syncWords_.end() && (end == 0 || *it < end); ++it) {
+        ThreadInfo &ti = info(self);
+        Clock &wc = syncClocks_[*it];
+        join(ti.clock, wc);
+        if (write) {
+            join(wc, ti.clock);
+            ti.clock[self->id()]++;
+        }
+    }
+}
+
+void
 SimCheck::reportRace(const char *current_op, const char *prior_op,
                      Addr addr, const Access &prior)
 {

@@ -42,6 +42,7 @@
 #define HC_CHECK_CHECK_HH
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -110,6 +111,17 @@ class SimCheck : public sim::EngineObserver
     /** One priced word access by the current thread (hooked from
      *  mem::MemoryModel::accessWord). */
     void onWordAccess(Addr addr, bool write);
+
+    /**
+     * One bulk transfer of [addr, addr+len) by the current thread
+     * (hooked from mem::MemoryModel::readBuffer/writeBuffer and the
+     * marshalling copies). Bulk data is priced at stream granularity
+     * and stays exempt from per-word race tracking, but any
+     * registered sync word inside the span keeps its acquire/release
+     * semantics — a channel line or SharedVar word does not lose its
+     * ordering edges just because it was touched by a range op.
+     */
+    void onSpanAccess(Addr addr, std::uint64_t len, bool write);
 
     /** Treat the word at @p addr as a synchronization word (atomic):
      *  accesses are exempt from race checks and create acquire/release
@@ -222,7 +234,8 @@ class SimCheck : public sim::EngineObserver
     std::vector<ThreadInfo> threads_; //!< indexed by sim thread id
     std::unordered_map<Addr, WordState> words_;
     std::unordered_map<Addr, Clock> syncClocks_;
-    std::unordered_set<Addr> syncWords_;
+    /** Ordered so onSpanAccess() can range-query words in a span. */
+    std::set<Addr> syncWords_;
     std::unordered_set<Addr> exempt_;
     std::unordered_map<const void *, Clock> objectClocks_;
     std::unordered_map<Addr, std::string> deliberateLeaks_;

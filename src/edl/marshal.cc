@@ -9,6 +9,7 @@
 #include <cstring>
 #include <limits>
 
+#include "check/check.hh"
 #include "support/logging.hh"
 
 namespace hc::edl {
@@ -85,6 +86,28 @@ Marshaller::charge(double cycles)
     if (machine_.engine().currentThread())
         machine_.engine().advance(
             static_cast<Cycles>(std::llround(cycles)));
+}
+
+void
+Marshaller::copyVisible(Addr src_addr, Addr dst_addr,
+                        std::uint64_t bytes)
+{
+    check::SimCheck *check = machine_.check();
+    if (!check || bytes == 0)
+        return;
+    if (src_addr != 0)
+        check->onSpanAccess(src_addr, bytes, false);
+    if (dst_addr != 0)
+        check->onSpanAccess(dst_addr, bytes, true);
+}
+
+void
+Marshaller::zeroVisible(Addr dst_addr, std::uint64_t bytes)
+{
+    check::SimCheck *check = machine_.check();
+    if (!check || bytes == 0 || dst_addr == 0)
+        return;
+    check->onSpanAccess(dst_addr, bytes, true);
 }
 
 std::uint64_t
@@ -209,6 +232,7 @@ Marshaller::stageEcall(const EdgeFunction &fn, const Args &args)
           case Direction::In:
           case Direction::InOut:
             std::memcpy(slot.staging->data(), arg.data, slot.bytes);
+            copyVisible(arg.addr, slot.staging->addr(), slot.bytes);
             cost += static_cast<double>(slot.bytes) *
                     params_.ecallCopyInPerByte;
             break;
@@ -216,6 +240,7 @@ Marshaller::stageEcall(const EdgeFunction &fn, const Args &args)
             // Zero the enclave-side buffer so stale heap secrets
             // cannot leak back out (always kept; see MarshalOptions).
             std::memset(slot.staging->data(), 0, slot.bytes);
+            zeroVisible(slot.staging->addr(), slot.bytes);
             const double per_byte = options_.wordWiseMemset
                                         ? params_.memsetWordWisePerByte
                                         : params_.ecallMemsetPerByte;
@@ -225,6 +250,7 @@ Marshaller::stageEcall(const EdgeFunction &fn, const Args &args)
           case Direction::UserCheck:
             // [string] handled as In above; plain user_check skipped.
             std::memcpy(slot.staging->data(), arg.data, slot.bytes);
+            copyVisible(arg.addr, slot.staging->addr(), slot.bytes);
             cost += static_cast<double>(slot.bytes) *
                     params_.ecallCopyInPerByte;
             break;
@@ -251,6 +277,7 @@ Marshaller::finishEcall(StagedCall &call)
         if (param.direction == Direction::Out ||
             param.direction == Direction::InOut) {
             std::memcpy(arg.data, slot.staging->data(), slot.bytes);
+            copyVisible(slot.staging->addr(), arg.addr, slot.bytes);
             cost += static_cast<double>(slot.bytes) *
                     params_.ecallCopyOutPerByte;
         }
@@ -295,6 +322,7 @@ Marshaller::stageOcall(const EdgeFunction &fn, const Args &args)
           case Direction::UserCheck: // [string]
             // "into the ocall": enclave -> untrusted copy.
             std::memcpy(slot.staging->data(), arg.data, slot.bytes);
+            copyVisible(arg.addr, slot.staging->addr(), slot.bytes);
             cost += static_cast<double>(slot.bytes) *
                     params_.ocallCopyToPerByte;
             break;
@@ -304,6 +332,7 @@ Marshaller::stageOcall(const EdgeFunction &fn, const Args &args)
             // that memory anyway); No-Redundant-Zeroing removes it.
             if (!options_.noRedundantZeroing) {
                 std::memset(slot.staging->data(), 0, slot.bytes);
+                zeroVisible(slot.staging->addr(), slot.bytes);
                 const double per_byte =
                     options_.wordWiseMemset
                         ? params_.memsetWordWisePerByte
@@ -335,6 +364,7 @@ Marshaller::finishOcall(StagedCall &call)
             param.direction == Direction::InOut) {
             // Copy back into the enclave.
             std::memcpy(arg.data, slot.staging->data(), slot.bytes);
+            copyVisible(slot.staging->addr(), arg.addr, slot.bytes);
             cost += static_cast<double>(slot.bytes) *
                     params_.ocallCopyBackPerByte;
         }
@@ -529,12 +559,15 @@ Marshaller::stageFast(const CallPlan &plan, const Args &args,
                                               : params_.ocallAllocFixed);
         }
         std::uint8_t *dst = fast ? slot.fastData : slot.staging->data();
+        const Addr dst_addr =
+            fast ? slot.fastAddr : slot.staging->addr();
 
         switch (pp.direction) {
           case Direction::In:
           case Direction::InOut:
           case Direction::UserCheck: // [string]
             std::memcpy(dst, arg.data, slot.bytes);
+            copyVisible(arg.addr, dst_addr, slot.bytes);
             cost += static_cast<double>(slot.bytes) *
                     (fast ? params_.fastpathCopyPerByte
                           : (ecall ? params_.ecallCopyInPerByte
@@ -551,6 +584,7 @@ Marshaller::stageFast(const CallPlan &plan, const Args &args,
             const bool zero = ecall || !options_.noRedundantZeroing;
             if (zero) {
                 std::memset(dst, 0, slot.bytes);
+                zeroVisible(dst_addr, slot.bytes);
                 double per_byte = params_.memsetWordWisePerByte;
                 if (!fast && !options_.wordWiseMemset) {
                     per_byte = ecall ? params_.ecallMemsetPerByte
@@ -587,6 +621,9 @@ Marshaller::finishFast(StagedCall &call)
             const std::uint8_t *src =
                 slot.staging ? slot.staging->data() : slot.fastData;
             std::memcpy(arg.data, src, slot.bytes);
+            copyVisible(slot.staging ? slot.staging->addr()
+                                     : slot.fastAddr,
+                        arg.addr, slot.bytes);
             cost += static_cast<double>(slot.bytes) *
                     (slot.staging
                          ? (ecall ? params_.ecallCopyOutPerByte

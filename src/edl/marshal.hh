@@ -285,6 +285,20 @@ class Marshaller
 
     void charge(double cycles);
 
+    /**
+     * Report a marshalling copy to SimCheck as a pair of bulk spans
+     * (read @p src_addr, write @p dst_addr, @p bytes each): cycles
+     * are charged per byte by the cost model, but any registered
+     * sync word inside the copied ranges must still get its
+     * acquire/release edges. No-op when checking is off or an
+     * address is unmapped (0).
+     */
+    void copyVisible(Addr src_addr, Addr dst_addr,
+                     std::uint64_t bytes);
+
+    /** Report a marshalling memset likewise (write span only). */
+    void zeroVisible(Addr dst_addr, std::uint64_t bytes);
+
     mem::Machine &machine_;
     const sgx::SgxCostParams &params_;
     MarshalOptions options_;

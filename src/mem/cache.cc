@@ -5,6 +5,8 @@
 
 #include "mem/cache.hh"
 
+#include <bit>
+
 #include "support/hash.hh"
 #include "support/logging.hh"
 
@@ -14,7 +16,7 @@ CacheModel::CacheModel(std::uint64_t size, int ways,
                        std::uint64_t line_size)
     : lineSize_(line_size)
 {
-    hc_assert(ways > 0);
+    hc_assert(ways > 0 && ways <= 64); // Set::validMask is 64 bits
     hc_assert(line_size > 0 && (line_size & (line_size - 1)) == 0);
     const std::uint64_t lines = size / line_size;
     hc_assert(lines % static_cast<std::uint64_t>(ways) == 0);
@@ -54,6 +56,8 @@ CacheModel::touchHit(Line &way, CoreId core, bool write)
     const CacheOutcome outcome = (way.owner == core)
                                      ? CacheOutcome::OwnedHit
                                      : CacheOutcome::SharedHit;
+    if (outcome == CacheOutcome::SharedHit)
+        ++modGen_; // ownership transfer invalidates span memos
     way.owner = core;
     way.dirty = way.dirty || write;
     way.lastUse = useCounter_;
@@ -63,6 +67,14 @@ CacheModel::touchHit(Line &way, CoreId core, bool write)
 
 CacheModel::Result
 CacheModel::access(CoreId core, Addr addr, bool write)
+{
+    Line *touched = nullptr;
+    return accessImpl(core, addr, write, touched);
+}
+
+CacheModel::Result
+CacheModel::accessImpl(CoreId core, Addr addr, bool write,
+                       Line *&touched)
 {
     Result result;
     const Addr line = lineAddr(addr);
@@ -76,31 +88,48 @@ CacheModel::access(CoreId core, Addr addr, bool write)
     CoreMemo &memo = memo_[core_idx];
     if (memo.line == line && memo.way->valid && memo.way->tag == line) {
         result.outcome = touchHit(*memo.way, core, write);
+        touched = memo.way;
         return result;
     }
 
     Set &set = setFor(addr);
-    for (auto &way : set.ways) {
-        if (way.valid && way.tag == line) {
+    Line *const ways = set.ways.data();
+    // Probe only the valid ways (ascending way order, like a full
+    // scan with the valid check — same candidates, same first match).
+    for (std::uint64_t m = set.validMask; m != 0; m &= m - 1) {
+        Line &way = ways[std::countr_zero(m)];
+        if (way.tag == line) {
             result.outcome = touchHit(way, core, write);
             memo = CoreMemo{line, &way};
+            touched = &way;
             return result;
         }
     }
 
     // Miss: fill, evicting the first invalid way, else the LRU way.
+    const auto num_ways = static_cast<unsigned>(set.ways.size());
+    const std::uint64_t full_mask =
+        num_ways >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << num_ways) - 1;
+    const std::uint64_t invalid = full_mask & ~set.validMask;
     Line *victim = nullptr;
-    for (auto &way : set.ways) {
-        if (!way.valid) {
-            victim = &way;
-            break;
+    if (invalid != 0) {
+        victim = &ways[std::countr_zero(invalid)];
+    } else {
+        for (auto &way : set.ways) {
+            if (!victim || way.lastUse < victim->lastUse)
+                victim = &way;
         }
-        if (!victim || way.lastUse < victim->lastUse)
-            victim = &way;
     }
     hc_assert(victim);
     ++misses_;
     if (victim->valid) {
+        // Only a fill that displaces a VALID line can falsify a span
+        // memo: every line a live memo asserts is resident, and any
+        // invalidation bumps the generation, so live memos never
+        // reference invalid ways. A fill into an invalid way displaces
+        // nothing a memo could be tracking.
+        ++modGen_;
         result.evicted = true;
         result.evictedDirty = victim->dirty;
         result.evictedLine = victim->tag;
@@ -110,7 +139,9 @@ CacheModel::access(CoreId core, Addr addr, bool write)
     victim->dirty = write;
     victim->owner = core;
     victim->lastUse = useCounter_;
+    set.validMask |= std::uint64_t{1} << (victim - ways);
     memo = CoreMemo{line, victim};
+    touched = victim;
     return result;
 }
 
@@ -130,11 +161,15 @@ CacheModel::flushLine(Addr addr)
 {
     const Addr line = lineAddr(addr);
     Set &set = setFor(addr);
-    for (auto &way : set.ways) {
-        if (way.valid && way.tag == line) {
+    for (std::uint64_t m = set.validMask; m != 0; m &= m - 1) {
+        const unsigned idx = std::countr_zero(m);
+        Line &way = set.ways[idx];
+        if (way.tag == line) {
             const bool dirty = way.dirty;
             way.valid = false;
             way.dirty = false;
+            set.validMask &= ~(std::uint64_t{1} << idx);
+            ++modGen_; // residency change invalidates span memos
             return dirty;
         }
     }
@@ -149,7 +184,10 @@ CacheModel::flushAll()
             way.valid = false;
             way.dirty = false;
         }
+        set.validMask = 0;
     }
+    ++modGen_;
+    spanMemos_.clear();
 }
 
 void
@@ -157,9 +195,13 @@ CacheModel::flushRange(Addr addr, std::uint64_t len)
 {
     if (len == 0)
         return;
+    // Count-based loop: an inclusive end address would make a range
+    // ending at the top of the address space wrap and never exit.
     const Addr first = lineAddr(addr);
-    const Addr last = lineAddr(addr + len - 1);
-    for (Addr line = first; line <= last; line += lineSize_)
+    const std::uint64_t count =
+        ((addr + len - 1) / lineSize_) - (first / lineSize_) + 1;
+    Addr line = first;
+    for (std::uint64_t i = 0; i < count; ++i, line += lineSize_)
         flushLine(line);
 }
 

@@ -15,6 +15,7 @@
 #define HC_MEM_CACHE_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "support/units.hh"
@@ -57,6 +58,128 @@ class CacheModel
      */
     Result access(CoreId core, Addr addr, bool write);
 
+    /**
+     * Bulk-span access plane: probe @p count consecutive lines
+     * starting at @p first_line (line-aligned), invoking
+     * @p on_line(line_addr, result) for each in ascending order.
+     *
+     * Bit-identical to @p count calls of access(): same outcomes,
+     * same hit/miss counters, same LRU (lastUse) evolution, same
+     * evictions, in the same order. What it saves is the per-line
+     * hash + way scan for spans the span-hit memo has already proved
+     * fully resident and owned by @p core: those replay as straight
+     * metadata updates. The memo is keyed by span start, validated
+     * against a modification generation (modGen_) bumped by every
+     * residency or ownership change, so any interleaving fill, flush,
+     * or cross-core touch since the recording falls back to the full
+     * per-line probes.
+     */
+    template <typename OnLine>
+    void accessSpan(CoreId core, Addr first_line, std::uint64_t count,
+                    bool write, OnLine &&on_line)
+    {
+        if (count == 0)
+            return;
+        const auto it = spanMemos_.find(first_line);
+        if (it != spanMemos_.end()) {
+            SpanMemo &memo = it->second;
+            if (memo.count == count && memo.core == core &&
+                (memo.gen == modGen_ ||
+                 revalidate(memo, first_line, core))) {
+                // Replay: every line is resident and already owned by
+                // this core (recorded or just revalidated), so each
+                // access is exactly an OwnedHit of access():
+                // ++useCounter_, dirty |= write, lastUse, ++hits_.
+                Result hit;
+                hit.outcome = CacheOutcome::OwnedHit;
+                Line *const *ways = memo.ways.data();
+                Addr line = first_line;
+                for (std::uint64_t i = 0; i < count;
+                     ++i, line += lineSize_) {
+                    Line &way = *ways[i];
+                    ++useCounter_;
+                    way.dirty = way.dirty || write;
+                    way.lastUse = useCounter_;
+                    on_line(line, hit);
+                }
+                hits_ += count;
+                return;
+            }
+        }
+
+        // Slow path: per-line probes (identical to access()), while
+        // capturing the touched ways for a future replay. A span is
+        // only memoizable when none of its own earlier lines were
+        // evicted by a later fill — otherwise not every line is
+        // resident once the span completes.
+        scratchWays_.clear();
+        bool memoizable = count >= kSpanMemoMinLines;
+        if (memoizable)
+            scratchWays_.reserve(count);
+        const std::uint64_t span_bytes = count * lineSize_;
+        Addr line = first_line;
+        for (std::uint64_t i = 0; i < count; ++i, line += lineSize_) {
+            Line *way = nullptr;
+            const Result result = accessImpl(core, line, write, way);
+            if (memoizable) {
+                if (result.evicted &&
+                    result.evictedLine - first_line < span_bytes)
+                    memoizable = false;
+                else
+                    scratchWays_.push_back(way);
+            }
+            on_line(line, result);
+        }
+        if (memoizable) {
+            if (spanMemos_.size() >= kSpanMemoMaxEntries)
+                spanMemos_.clear();
+            SpanMemo &memo = spanMemos_[first_line];
+            memo.count = count;
+            memo.core = core;
+            memo.gen = modGen_;
+            memo.ways.assign(scratchWays_.begin(), scratchWays_.end());
+        }
+    }
+
+    /**
+     * Bulk-span flush plane: flushLine() over @p count consecutive
+     * lines from @p first_line, invoking @p on_line(line_addr,
+     * was_dirty) for each in ascending order. Bit-identical state and
+     * results; a valid span memo turns the per-line set scans into
+     * direct way invalidations.
+     */
+    template <typename OnLine>
+    void flushSpan(Addr first_line, std::uint64_t count,
+                   OnLine &&on_line)
+    {
+        if (count == 0)
+            return;
+        const auto it = spanMemos_.find(first_line);
+        if (it != spanMemos_.end() && it->second.count == count &&
+            (it->second.gen == modGen_ ||
+             revalidate(it->second, first_line, it->second.core))) {
+            SpanMemo &memo = it->second;
+            Addr line = first_line;
+            for (std::uint64_t i = 0; i < count;
+                 ++i, line += lineSize_) {
+                Line &way = *memo.ways[i];
+                const bool dirty = way.dirty;
+                way.valid = false;
+                way.dirty = false;
+                Set &set = setFor(line);
+                set.validMask &= ~(std::uint64_t{1}
+                                   << (&way - set.ways.data()));
+                on_line(line, dirty);
+            }
+            ++modGen_;
+            spanMemos_.erase(it);
+            return;
+        }
+        Addr line = first_line;
+        for (std::uint64_t i = 0; i < count; ++i, line += lineSize_)
+            on_line(line, flushLine(line));
+    }
+
     /** @return true if the line containing @p addr is resident. */
     bool contains(Addr addr) const;
 
@@ -87,6 +210,14 @@ class CacheModel
 
     struct Set {
         std::vector<Line> ways;
+        /**
+         * Bit i set iff ways[i].valid. Pure host-side acceleration:
+         * hit scans visit only valid ways (same candidates, same way
+         * order, so the same outcome as scanning everything) and the
+         * first-invalid victim pick reads one bit instead of walking
+         * way metadata. Caps associativity at 64 (asserted).
+         */
+        std::uint64_t validMask = 0;
     };
 
     /**
@@ -102,11 +233,56 @@ class CacheModel
         Line *way = nullptr;
     };
 
+    /**
+     * One recorded span: proof that, as of generation gen, the count
+     * lines from first were all resident and owned by core, at the
+     * recorded ways. Way storage never reallocates after
+     * construction, so the pointers stay stable; modGen_ equality is
+     * what certifies the residency/ownership claims are still true.
+     */
+    struct SpanMemo {
+        std::uint64_t count = 0;
+        CoreId core = 0;
+        std::uint64_t gen = 0;
+        std::vector<Line *> ways;
+    };
+
+    /** Spans shorter than this are not worth a memo entry. */
+    static constexpr std::uint64_t kSpanMemoMinLines = 8;
+    /** Size cap for the memo map (cleared wholesale when reached). */
+    static constexpr std::size_t kSpanMemoMaxEntries = 1024;
+
+    /**
+     * Re-certify a stale span memo with a read-only walk: the memo's
+     * claims hold again iff every recorded way still holds its line,
+     * valid and owned by @p core. Way objects never move, a line is
+     * never resident in two ways at once, and a way found valid with
+     * a matching tag is necessarily in that line's set — so a
+     * successful walk proves a per-line probe of each line would be
+     * an OwnedHit on exactly the recorded way. Mutates nothing but
+     * memo.gen (on success), so a failed walk leaves the slow path's
+     * state evolution untouched.
+     */
+    bool revalidate(SpanMemo &memo, Addr first_line, CoreId core)
+    {
+        Addr line = first_line;
+        for (Line *way : memo.ways) {
+            if (!way->valid || way->tag != line || way->owner != core)
+                return false;
+            line += lineSize_;
+        }
+        memo.gen = modGen_;
+        return true;
+    }
+
     Set &setFor(Addr addr);
     const Set &setFor(Addr addr) const;
     Addr lineAddr(Addr addr) const { return addr & ~(lineSize_ - 1); }
     /** Classify a hit on @p way and update its metadata. */
     CacheOutcome touchHit(Line &way, CoreId core, bool write);
+    /** access() with the touched/filled way reported to the caller. */
+    Result accessImpl(CoreId core, Addr addr, bool write,
+                      Line *&touched);
 
     std::uint64_t lineSize_;
     std::vector<Set> sets_;
@@ -115,6 +291,20 @@ class CacheModel
     std::uint64_t useCounter_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+
+    /**
+     * Generation counter for the span-hit memo: bumped by every event
+     * that can falsify a recorded span's "resident and owned" claim —
+     * fills that evict a valid line, ownership transfers (SharedHit),
+     * and every flavour of flush. Fills into invalid ways and
+     * same-core owned hits don't bump it: they change nothing a live
+     * memo asserts (live memos never reference invalid ways, since
+     * every invalidation bumps the generation). A stale memo is not
+     * necessarily dead — revalidate() can re-certify it.
+     */
+    std::uint64_t modGen_ = 0;
+    std::unordered_map<Addr, SpanMemo> spanMemos_;
+    std::vector<Line *> scratchWays_; //!< accessSpan slow-path scratch
 };
 
 } // namespace hc::mem

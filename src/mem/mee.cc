@@ -33,6 +33,10 @@ Mee::Mee(const CostParams &params, Addr epc_base, std::uint64_t epc_size,
     }
     if (treeLevels_ > 1)
         path_.reserve(static_cast<std::size_t>(treeLevels_ - 1));
+    // Pre-size the per-line metadata overlay: a buffer sweep's first
+    // flush materializes thousands of entries back to back, and
+    // paying the incremental rehashes there dominates its host cost.
+    lines_.reserve(1 << 8);
 }
 
 std::uint64_t
@@ -54,13 +58,35 @@ Mee::macFor(std::uint64_t line_index, std::uint64_t version) const
     return fastHash64(material, sizeof(material));
 }
 
+Mee::Chunk *
+Mee::chunkFor(std::uint64_t line_index, bool create) const
+{
+    const std::uint64_t key = line_index >> kChunkShift;
+    if (key == chunkKey_)
+        return chunk_;
+    if (create) {
+        chunk_ = &lines_[key];
+    } else {
+        const auto it = lines_.find(key);
+        if (it == lines_.end())
+            return nullptr; // leave the cache on the last real chunk
+        chunk_ = &it->second;
+    }
+    chunkKey_ = key;
+    return chunk_;
+}
+
 Mee::LineMeta &
 Mee::metaFor(std::uint64_t line_index)
 {
-    auto [it, inserted] = lines_.try_emplace(line_index);
-    if (inserted)
-        it->second.dramMac = macFor(line_index, 0);
-    return it->second;
+    Chunk &chunk = *chunkFor(line_index, /*create=*/true);
+    LineMeta &meta =
+        chunk.metas[line_index & ((1u << kChunkShift) - 1)];
+    if (!meta.touched) {
+        meta.touched = true;
+        meta.dramMac = macFor(line_index, 0);
+    }
+    return meta;
 }
 
 int
@@ -92,6 +118,7 @@ Mee::readWalkMisses(Addr line_addr)
     // and never fetched, so it has no path entry.
     int misses = 0;
     const int ways = params_.meeCacheWays;
+    bool at_leaf = true;
     for (const PathNode &pn : path_) {
         NodeWay *base =
             &nodeCache_[static_cast<std::size_t>(pn.set) *
@@ -104,6 +131,7 @@ Mee::readWalkMisses(Addr line_addr)
             if (base[w].tag == pn.tag) {
                 base[w].lastUse = nodeUseCounter_;
                 hit = true;
+                victim = &base[w];
                 break;
             }
             if (base[w].tag == 0 ||
@@ -111,6 +139,14 @@ Mee::readWalkMisses(Addr line_addr)
                  base[w].lastUse < victim->lastUse)) {
                 victim = &base[w];
             }
+        }
+        if (at_leaf) {
+            // Feed the spanWalkMisses() leaf memo: the way that now
+            // carries this group's leaf node (hit or about to fill).
+            leafGroup_ = group;
+            leafTag_ = pn.tag;
+            leafWay_ = victim;
+            at_leaf = false;
         }
         if (hit) {
             ++nodeHits_;
@@ -124,21 +160,40 @@ Mee::readWalkMisses(Addr line_addr)
     return misses;
 }
 
+int
+Mee::spanWalkMisses(Addr line_addr)
+{
+    const std::uint64_t idx = lineIndex(line_addr);
+    const auto arity = static_cast<std::uint64_t>(params_.meeTreeArity);
+    if (idx / arity == leafGroup_ && leafWay_ &&
+        leafWay_->tag == leafTag_) {
+        // Guaranteed leaf hit: replay exactly the leaf-probe-hit
+        // branch of readWalkMisses().
+        ++nodeUseCounter_;
+        leafWay_->lastUse = nodeUseCounter_;
+        ++nodeHits_;
+        return 0;
+    }
+    return readWalkMisses(line_addr);
+}
+
 void
 Mee::clearNodeCache()
 {
     nodeCache_.assign(nodeCache_.size(), NodeWay{});
+    leafGroup_ = ~std::uint64_t{0};
+    leafWay_ = nullptr;
 }
 
 bool
 Mee::verifyLine(Addr line_addr) const
 {
     const std::uint64_t idx = lineIndex(line_addr);
-    const auto it = lines_.find(idx);
-    if (it == lines_.end())
+    Chunk *chunk = chunkFor(idx, /*create=*/false);
+    if (!chunk)
         return true; // untouched line: version 0, MAC as initialised
-    LineMeta &meta = it->second;
-    if (meta.verified)
+    LineMeta &meta = chunk->metas[idx & ((1u << kChunkShift) - 1)];
+    if (!meta.touched || meta.verified)
         return true;
     if (meta.dramMac != macFor(idx, meta.dramVersion))
         return false; // forged/corrupted line or MAC

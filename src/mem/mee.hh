@@ -30,6 +30,7 @@
 #ifndef HC_MEM_MEE_HH
 #define HC_MEM_MEE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +66,22 @@ class Mee
      * @return the number of tree nodes that had to be fetched.
      */
     int readWalkMisses(Addr line_addr);
+
+    /**
+     * readWalkMisses() for a line of an ascending bulk span —
+     * bit-identical results and node-cache state, cheaper when the
+     * previous walk already verified this line's leaf group.
+     *
+     * Adjacent lines share every tree ancestor but the data itself
+     * (meeTreeArity lines per leaf counter node), so after one full
+     * walk the next lines of the group are guaranteed leaf-level hits
+     * — unless that leaf has since been evicted from the node cache,
+     * which the memo detects by re-checking the cached way's tag. The
+     * replay performs exactly the leaf-probe-hit state updates the
+     * full walk would: one use-counter tick, the leaf's LRU stamp,
+     * and one node-cache hit.
+     */
+    int spanWalkMisses(Addr line_addr);
 
     /** Reset the node cache (not done by LLC flushes; test hook). */
     void clearNodeCache();
@@ -104,7 +121,8 @@ class Mee
 
   private:
     /**
-     * Per-line protection state. Absent from lines_ means "never
+     * Per-line protection state. An untouched entry (touched false,
+     * like a line absent from the old per-line map) means "never
      * written back or attacked": version 0 everywhere, MAC =
      * macFor(index, 0), trivially valid.
      */
@@ -112,6 +130,8 @@ class Mee
         std::uint32_t trustedVersion = 0;
         std::uint32_t dramVersion = 0;
         std::uint64_t dramMac = 0;
+        /** Lazily initialised by metaFor() (sets dramMac). */
+        bool touched = false;
         /** Memo: the (version, MAC) pair last passed verifyLine().
          *  Purely an avoided re-hash — cleared by every mutation. */
         bool verified = false;
@@ -153,8 +173,37 @@ class Mee
     std::uint64_t pathGroup_ = ~std::uint64_t{0};
     std::vector<PathNode> path_;
 
-    /** Sparse per-line overlay (mutable: verifyLine memoises). */
-    mutable std::unordered_map<std::uint64_t, LineMeta> lines_;
+    /**
+     * Leaf memo for spanWalkMisses(): the node-cache way that held
+     * (or received) the leaf node of the most recent walk's group.
+     * Valid as long as the way still carries leafTag_ — walks are the
+     * only node-cache mutators, and every walk refreshes this memo,
+     * so a stale pointer can only mean the leaf was evicted by the
+     * higher levels of its own walk (pathologically small caches),
+     * which the tag check catches.
+     */
+    std::uint64_t leafGroup_ = ~std::uint64_t{0};
+    std::uint64_t leafTag_ = 0;
+    NodeWay *leafWay_ = nullptr;
+
+    /**
+     * Sparse per-line overlay (mutable: verifyLine memoises), stored
+     * in chunks of 64 consecutive lines so a sequential sweep pays
+     * one map lookup per chunk instead of per line: chunkFor() caches
+     * the most recent chunk, and the map's node-based storage keeps
+     * the cached pointer stable across inserts. Entries are lazily
+     * initialised via LineMeta::touched, preserving the "absent means
+     * never written back or attacked" semantics per line.
+     */
+    static constexpr unsigned kChunkShift = 6;
+    struct Chunk {
+        std::array<LineMeta, std::size_t{1} << kChunkShift> metas;
+    };
+    /** @return the chunk covering @p line_index, creating if asked. */
+    Chunk *chunkFor(std::uint64_t line_index, bool create) const;
+    mutable std::unordered_map<std::uint64_t, Chunk> lines_;
+    mutable std::uint64_t chunkKey_ = ~std::uint64_t{0};
+    mutable Chunk *chunk_ = nullptr; //!< entry for chunkKey_
 
     std::uint64_t nodeHits_ = 0;
     std::uint64_t nodeMisses_ = 0;

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "check/check.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace hc::mem {
@@ -18,6 +19,9 @@ MemoryModel::MemoryModel(sim::Engine &engine, AddressSpace &space,
       cache_(params.llcSize, params.llcWays),
       mee_(params_, AddressSpace::kEpcBase, params.epcVirtualSize, seed)
 {
+    bulkSpan_ = params_.bulkSpanMode < 0
+                    ? envFlagOr("HC_BULKSPAN", true)
+                    : params_.bulkSpanMode != 0;
 }
 
 Cycles
@@ -72,9 +76,14 @@ MemoryModel::touchPages(Addr addr, std::uint64_t len, bool write)
     if (!pageTouch_ || !space_.isEpc(addr))
         return 0;
     Cycles extra = 0;
+    // Count-based loop (not an inclusive end address): a range ending
+    // at the top of the address space must not wrap and spin forever.
     const Addr first = addr & ~(kPageSize - 1);
-    const Addr last = (addr + (len ? len - 1 : 0)) & ~(kPageSize - 1);
-    for (Addr page = first; page <= last; page += kPageSize)
+    const std::uint64_t count =
+        ((addr + (len ? len - 1 : 0)) / kPageSize) -
+        (first / kPageSize) + 1;
+    Addr page = first;
+    for (std::uint64_t i = 0; i < count; ++i, page += kPageSize)
         extra += pageTouch_(page, write);
     return extra;
 }
@@ -84,14 +93,22 @@ MemoryModel::readBuffer(Addr addr, std::uint64_t len, bool charge_time)
 {
     if (len == 0)
         return 0;
+    if (check_)
+        check_->onSpanAccess(addr, len, false);
     const bool epc = space_.isEpc(addr);
     const CoreId core = currentCore();
     double cost = static_cast<double>(touchPages(addr, len, false));
 
     const Addr first = addr & ~(kCacheLineSize - 1);
-    const Addr last = (addr + len - 1) & ~(kCacheLineSize - 1);
-    for (Addr line = first; line <= last; line += kCacheLineSize) {
-        const auto result = cache_.access(core, line, false);
+    const std::uint64_t count = spanLines(addr, len);
+
+    // One per-line pricing routine shared by both planes, so the cost
+    // additions are the same operations in the same order by
+    // construction (the single-rounding-point contract: see
+    // roundCost()). The planes differ only in how the cache outcome
+    // and MEE walk are computed, never in what they return.
+    const auto price = [&](Addr line, const CacheModel::Result &result,
+                           bool span) {
         handleEviction(result);
         switch (result.outcome) {
           case CacheOutcome::OwnedHit:
@@ -104,7 +121,9 @@ MemoryModel::readBuffer(Addr addr, std::uint64_t len, bool charge_time)
             cost += params_.seqReadPerLine;
             if (epc) {
                 verifyFetched(line);
-                const int walk_misses = mee_.readWalkMisses(line);
+                const int walk_misses =
+                    span ? mee_.spanWalkMisses(line)
+                         : mee_.readWalkMisses(line);
                 const double spec_pipe =
                     params_.meeSpeculativeLoading
                         ? params_.speculativePipelineFactor
@@ -121,6 +140,19 @@ MemoryModel::readBuffer(Addr addr, std::uint64_t len, bool charge_time)
             }
             break;
         }
+    };
+
+    if (bulkSpan_) {
+        cache_.accessSpan(core, first, count, false,
+                          [&](Addr line,
+                              const CacheModel::Result &result) {
+                              price(line, result, true);
+                          });
+    } else {
+        Addr line = first;
+        for (std::uint64_t i = 0; i < count;
+             ++i, line += kCacheLineSize)
+            price(line, cache_.access(core, line, false), false);
     }
 
     const Cycles cycles = roundCost(cost);
@@ -135,14 +167,18 @@ MemoryModel::writeBuffer(Addr addr, std::uint64_t len, bool flush_after,
 {
     if (len == 0)
         return 0;
+    if (check_)
+        check_->onSpanAccess(addr, len, true);
     const bool epc = space_.isEpc(addr);
     const CoreId core = currentCore();
     double cost = static_cast<double>(touchPages(addr, len, true));
 
     const Addr first = addr & ~(kCacheLineSize - 1);
-    const Addr last = (addr + len - 1) & ~(kCacheLineSize - 1);
-    for (Addr line = first; line <= last; line += kCacheLineSize) {
-        const auto result = cache_.access(core, line, true);
+    const std::uint64_t count = spanLines(addr, len);
+
+    // Shared per-line pricing, as in readBuffer(): both planes add
+    // the same costs in the same order.
+    const auto price = [&](const CacheModel::Result &result) {
         handleEviction(result);
         switch (result.outcome) {
           case CacheOutcome::OwnedHit:
@@ -157,21 +193,37 @@ MemoryModel::writeBuffer(Addr addr, std::uint64_t len, bool flush_after,
             cost += params_.seqWritePerLine;
             break;
         }
-    }
+    };
+    const auto price_flush = [&](Addr line, bool dirty) {
+        if (!dirty)
+            return;
+        cost += params_.flushPerLine;
+        if (epc) {
+            // clflush of a dirty EPC line pushes it through the
+            // MEE encrypt pipeline synchronously.
+            cost += static_cast<double>(params_.meeWritePipeline) /
+                    params_.meeStreamOverlap;
+            mee_.writebackLine(line);
+        }
+    };
 
-    if (flush_after) {
-        for (Addr line = first; line <= last; line += kCacheLineSize) {
-            const bool dirty = cache_.flushLine(line);
-            if (!dirty)
-                continue;
-            cost += params_.flushPerLine;
-            if (epc) {
-                // clflush of a dirty EPC line pushes it through the
-                // MEE encrypt pipeline synchronously.
-                cost += static_cast<double>(params_.meeWritePipeline) /
-                        params_.meeStreamOverlap;
-                mee_.writebackLine(line);
-            }
+    if (bulkSpan_) {
+        cache_.accessSpan(core, first, count, true,
+                          [&](Addr, const CacheModel::Result &result) {
+                              price(result);
+                          });
+        if (flush_after)
+            cache_.flushSpan(first, count, price_flush);
+    } else {
+        Addr line = first;
+        for (std::uint64_t i = 0; i < count;
+             ++i, line += kCacheLineSize)
+            price(cache_.access(core, line, true));
+        if (flush_after) {
+            line = first;
+            for (std::uint64_t i = 0; i < count;
+                 ++i, line += kCacheLineSize)
+                price_flush(line, cache_.flushLine(line));
         }
     }
 
@@ -240,11 +292,18 @@ MemoryModel::evictRange(Addr addr, std::uint64_t len)
     if (len == 0)
         return;
     const Addr first = addr & ~(kCacheLineSize - 1);
-    const Addr last = (addr + len - 1) & ~(kCacheLineSize - 1);
-    for (Addr line = first; line <= last; line += kCacheLineSize) {
-        const bool dirty = cache_.flushLine(line);
+    const std::uint64_t count = spanLines(addr, len);
+    const auto writeback = [&](Addr line, bool dirty) {
         if (dirty && space_.isEpc(line))
             mee_.writebackLine(line);
+    };
+    if (bulkSpan_) {
+        cache_.flushSpan(first, count, writeback);
+    } else {
+        Addr line = first;
+        for (std::uint64_t i = 0; i < count;
+             ++i, line += kCacheLineSize)
+            writeback(line, cache_.flushLine(line));
     }
 }
 

@@ -89,6 +89,17 @@ class MemoryModel
     /** Evict every line overlapping [addr, addr+len). */
     void evictRange(Addr addr, std::uint64_t len);
 
+    /**
+     * Select the BulkSpan plane at runtime (test/ablation hook; the
+     * construction-time default comes from CostParams::bulkSpanMode /
+     * HC_BULKSPAN). Both positions are bit-identical in every
+     * simulated output — only host-side speed differs.
+     */
+    void setBulkSpan(bool enabled) { bulkSpan_ = enabled; }
+
+    /** @return true when the BulkSpan plane is selected. */
+    bool bulkSpanEnabled() const { return bulkSpan_; }
+
     /** Evict the entire LLC (cold-cache experiments). */
     void evictAll();
 
@@ -147,6 +158,15 @@ class MemoryModel
     /** Apply the page-touch hook over the pages of a range. */
     Cycles touchPages(Addr addr, std::uint64_t len, bool write);
 
+    /** @return number of lines [addr, addr+len) overlaps (len > 0).
+     *  Count form on purpose: an inclusive last-line address would
+     *  wrap for spans ending at the top of the address space. */
+    static std::uint64_t spanLines(Addr addr, std::uint64_t len)
+    {
+        return ((addr + len - 1) / kCacheLineSize) -
+               (addr / kCacheLineSize) + 1;
+    }
+
     sim::Engine &engine_;
     AddressSpace &space_;
     CostParams params_;
@@ -155,6 +175,7 @@ class MemoryModel
     PageTouchHook pageTouch_;
     IntegrityFailureHook integrityFailure_;
     check::SimCheck *check_ = nullptr;
+    bool bulkSpan_ = true; //!< BulkSpan plane selected (see setBulkSpan)
 };
 
 } // namespace hc::mem

@@ -92,8 +92,12 @@ struct Fixture {
     sdk::EnclaveRuntime runtime;
     std::unique_ptr<fault::FaultInjector> injector;
 
+    /** @p bulk_span pins the BulkSpan plane (-1: HC_BULKSPAN / on).
+     *  Both positions must digest identically — the plane is a host
+     *  fast path, not a model change. */
     explicit Fixture(bool with_interrupts, bool check_on,
-                     const fault::FaultPlan *plan = nullptr)
+                     const fault::FaultPlan *plan = nullptr,
+                     int bulk_span = -1)
         : machine([&] {
               mem::MachineConfig config;
               config.engine.numCores = 8;
@@ -101,6 +105,7 @@ struct Fixture {
               config.engine.interruptMeanCycles =
                   with_interrupts ? 7'000'000 : 0;
               config.check.enabled = check_on;
+              config.mem.bulkSpanMode = bulk_span;
               return config;
           }()),
           platform(machine), runtime(platform, "determinism", kEdl, 4)
@@ -153,9 +158,10 @@ struct Fixture {
  */
 inline Digest
 fig3Scenario(bool with_interrupts, bool hiccups, bool check_on,
-             int calls, const fault::FaultPlan *plan = nullptr)
+             int calls, const fault::FaultPlan *plan = nullptr,
+             int bulk_span = -1)
 {
-    Fixture f(with_interrupts, check_on, plan);
+    Fixture f(with_interrupts, check_on, plan, bulk_span);
     hotcalls::HotCallConfig config;
     if (!hiccups)
         config.hiccupChance = 0.0;
@@ -190,9 +196,11 @@ fig3Scenario(bool with_interrupts, bool hiccups, bool check_on,
 /** 4-requester HotQueue scenario with an adaptive 2-responder pool. */
 inline Digest
 hotqueueScenario(bool with_interrupts, bool hiccups, bool check_on,
-                 int calls_each, const fault::FaultPlan *plan = nullptr)
+                 int calls_each,
+                 const fault::FaultPlan *plan = nullptr,
+                 int bulk_span = -1)
 {
-    Fixture f(with_interrupts, check_on, plan);
+    Fixture f(with_interrupts, check_on, plan, bulk_span);
     hotcalls::HotQueueConfig config;
     config.numSlots = 8;
     config.responderCores = {1, 2};
@@ -254,9 +262,10 @@ hotqueueScenario(bool with_interrupts, bool hiccups, bool check_on,
  */
 inline Digest
 memorySweepScenario(bool check_on,
-                    const fault::FaultPlan *plan = nullptr)
+                    const fault::FaultPlan *plan = nullptr,
+                    int bulk_span = -1)
 {
-    Fixture f(false, check_on, plan);
+    Fixture f(false, check_on, plan, bulk_span);
     std::vector<Cycles> costs;
     f.machine.engine().spawn("sweep", 0, [&] {
         for (std::uint64_t size : {2_KiB, 8_KiB, 32_KiB, 128_KiB}) {
@@ -291,9 +300,10 @@ memorySweepScenario(bool check_on,
 /** Warm SDK ecall/ocall loop: the conventional call path. */
 inline Digest
 sdkLoopScenario(bool check_on, int calls,
-                const fault::FaultPlan *plan = nullptr)
+                const fault::FaultPlan *plan = nullptr,
+                int bulk_span = -1)
 {
-    Fixture f(false, check_on, plan);
+    Fixture f(false, check_on, plan, bulk_span);
     std::vector<Cycles> latencies;
     f.machine.engine().spawn("driver", 0, [&] {
         for (int i = 0; i < calls; ++i) {
@@ -349,13 +359,15 @@ inline const char *kFastPathEdl = R"(
  */
 inline Digest
 fastPathScenario(bool check_on, int fast_path, int calls,
-                 const fault::FaultPlan *plan = nullptr)
+                 const fault::FaultPlan *plan = nullptr,
+                 int bulk_span = -1)
 {
     mem::MachineConfig machine_config;
     machine_config.engine.numCores = 8;
     machine_config.engine.seed = 42;
     machine_config.engine.interruptMeanCycles = 0;
     machine_config.check.enabled = check_on;
+    machine_config.mem.bulkSpanMode = bulk_span;
     mem::Machine machine(machine_config);
     std::unique_ptr<fault::FaultInjector> injector;
     if (plan) {

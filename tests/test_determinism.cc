@@ -131,6 +131,50 @@ TEST(Determinism, CheckDoesNotChangeSimulatedCycles)
 }
 
 // ----------------------------------------------------------------------
+// BulkSpan invariance: the range-batched memory plane is a host-side
+// fast path, NOT a model change (unlike FastPath, which deliberately
+// moves cycles). With the plane pinned on vs off, every scenario must
+// produce byte-identical digests — same cycle streams, same cache/MEE
+// counters, scenario for scenario.
+// ----------------------------------------------------------------------
+
+TEST(Determinism, BulkSpanOnOffBitIdentical)
+{
+    // The memory-bound scenario first: it exercises every bulk op
+    // (read/write/evict spans, flush-after, cold restarts).
+    const Digest sweep_off = memorySweepScenario(false, nullptr, 0);
+    const Digest sweep_on = memorySweepScenario(false, nullptr, 1);
+    EXPECT_EQ(sweep_off.text(), sweep_on.text());
+
+    const Digest fig3_off = fig3Scenario(true, true, false, 200,
+                                         nullptr, 0);
+    const Digest fig3_on = fig3Scenario(true, true, false, 200,
+                                        nullptr, 1);
+    EXPECT_EQ(fig3_off.text(), fig3_on.text());
+
+    const Digest hotq_off = hotqueueScenario(true, true, false, 80,
+                                             nullptr, 0);
+    const Digest hotq_on = hotqueueScenario(true, true, false, 80,
+                                            nullptr, 1);
+    EXPECT_EQ(hotq_off.text(), hotq_on.text());
+
+    const Digest sdk_off = sdkLoopScenario(false, 120, nullptr, 0);
+    const Digest sdk_on = sdkLoopScenario(false, 120, nullptr, 1);
+    EXPECT_EQ(sdk_off.text(), sdk_on.text());
+
+    // Both FastPath data planes, under both BulkSpan positions: the
+    // two switches must compose without interacting.
+    for (int fast_path : {0, 1}) {
+        const Digest fp_off = fastPathScenario(false, fast_path, 60,
+                                               nullptr, 0);
+        const Digest fp_on = fastPathScenario(false, fast_path, 60,
+                                              nullptr, 1);
+        EXPECT_EQ(fp_off.text(), fp_on.text())
+            << "fastPath=" << fast_path;
+    }
+}
+
+// ----------------------------------------------------------------------
 // The golden digest. The pinned hash was captured on the seed
 // implementation BEFORE the TurboSim fast paths (PR 4) and must never
 // drift: any host-side optimisation has to reproduce these simulated

@@ -521,3 +521,249 @@ TEST(MemoryModel, EncryptedAlwaysCostsAtLeastPlain)
         }
     });
 }
+
+// ----------------------------------------------------------------------
+// BulkSpan: the range-batched plane through the cache + MEE models
+// must be bit-identical to the per-line loops it replaces — same
+// per-op costs, same LLC and MEE counters — for every span shape,
+// including the awkward ones (unaligned edges, boundary straddles,
+// degenerate lengths, address-space wraparound).
+// ----------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Run @p body on a machine with the BulkSpan plane pinned to
+ * @p bulk_span and serialize every observable: the per-op costs the
+ * body records plus the cache/MEE counters afterwards. Equality of
+ * the two planes' strings is the bit-identity contract.
+ */
+std::string
+spanTrace(int bulk_span,
+          const std::function<void(Machine &, std::vector<Cycles> &)>
+              &body)
+{
+    MachineConfig config;
+    config.mem.bulkSpanMode = bulk_span;
+    Machine machine(config);
+    EXPECT_EQ(machine.memory().bulkSpanEnabled(), bulk_span != 0);
+    std::vector<Cycles> costs;
+    runSim(machine, [&] { body(machine, costs); });
+    std::string out;
+    for (const Cycles c : costs)
+        out += std::to_string(c) + ',';
+    out += "|llc=" + std::to_string(machine.memory().cache().hits()) +
+           '/' + std::to_string(machine.memory().cache().misses());
+    out += "|mee=" +
+           std::to_string(machine.memory().mee().nodeCacheHits()) +
+           '/' +
+           std::to_string(machine.memory().mee().nodeCacheMisses());
+    return out;
+}
+
+/** EXPECT both planes produce the same trace for @p body. */
+void
+expectPlanesAgree(const std::function<void(Machine &,
+                                           std::vector<Cycles> &)>
+                      &body,
+                  const char *what)
+{
+    EXPECT_EQ(spanTrace(0, body), spanTrace(1, body)) << what;
+}
+
+} // anonymous namespace
+
+TEST(BulkSpan, UnalignedSpansBitIdentical)
+{
+    expectPlanesAgree(
+        [](Machine &machine, std::vector<Cycles> &costs) {
+            auto &mem = machine.memory();
+            for (const Domain domain :
+                 {Domain::Untrusted, Domain::Epc}) {
+                Buffer buf(machine, domain, 8192);
+                const Addr base = buf.addr();
+                for (const std::uint64_t off :
+                     {0ull, 1ull, 7ull, 63ull, 64ull, 65ull}) {
+                    for (const std::uint64_t len :
+                         {1ull, 63ull, 64ull, 65ull, 127ull, 128ull,
+                          4097ull}) {
+                        costs.push_back(
+                            mem.readBuffer(base + off, len));
+                        costs.push_back(
+                            mem.writeBuffer(base + off, len));
+                        costs.push_back(mem.writeBuffer(
+                            base + off, len, /*flush_after=*/true));
+                        // Warm replay of the identical span, then a
+                        // cold retry after an unaligned eviction.
+                        costs.push_back(
+                            mem.readBuffer(base + off, len));
+                        mem.evictRange(base + off, len);
+                        costs.push_back(
+                            mem.readBuffer(base + off, len));
+                    }
+                }
+            }
+        },
+        "unaligned spans");
+}
+
+TEST(BulkSpan, EpcPageStraddlingSpansBitIdentical)
+{
+    expectPlanesAgree(
+        [](Machine &machine, std::vector<Cycles> &costs) {
+            auto &mem = machine.memory();
+            const Addr base =
+                machine.space().allocEpc(3 * 4096, 4096);
+            // Spans crossing each EPC page boundary (and, since
+            // consecutive lines hash to different LLC sets, every
+            // multi-line span also straddles cache sets).
+            for (const Addr page :
+                 {base + 4096, base + 2 * 4096}) {
+                for (const std::uint64_t back :
+                     {32ull, 64ull, 96ull}) {
+                    for (const std::uint64_t len :
+                         {64ull, 160ull, 4096ull}) {
+                        costs.push_back(
+                            mem.readBuffer(page - back, len));
+                        costs.push_back(
+                            mem.writeBuffer(page - back, len));
+                    }
+                }
+            }
+            // The whole three-page object, warm and cold.
+            costs.push_back(mem.readBuffer(base, 3 * 4096));
+            costs.push_back(mem.readBuffer(base, 3 * 4096));
+            mem.evictRange(base, 3 * 4096);
+            mem.mee().clearNodeCache();
+            costs.push_back(mem.readBuffer(base, 3 * 4096));
+            machine.space().free(base);
+        },
+        "EPC page straddles");
+}
+
+TEST(BulkSpan, DegenerateSpansBitIdentical)
+{
+    expectPlanesAgree(
+        [](Machine &machine, std::vector<Cycles> &costs) {
+            auto &mem = machine.memory();
+            Buffer buf(machine, Domain::Epc, 256);
+            const Addr base = buf.addr();
+            // Zero-length spans are free in both planes, at any
+            // alignment.
+            for (const std::uint64_t off : {0ull, 1ull, 63ull}) {
+                costs.push_back(mem.readBuffer(base + off, 0));
+                costs.push_back(mem.writeBuffer(base + off, 0));
+                EXPECT_EQ(costs.back(), 0u);
+                mem.evictRange(base + off, 0);
+            }
+            // Single-line spans, aligned and not, including the
+            // one-byte edge and the 64-byte span whose unaligned
+            // start makes it two lines.
+            costs.push_back(mem.readBuffer(base, 1));
+            costs.push_back(mem.readBuffer(base + 63, 1));
+            costs.push_back(mem.readBuffer(base, 64));
+            costs.push_back(mem.readBuffer(base + 1, 64));
+            costs.push_back(mem.writeBuffer(base + 1, 64));
+        },
+        "degenerate spans");
+}
+
+TEST(BulkSpan, CrossDomainSpansBitIdentical)
+{
+    expectPlanesAgree(
+        [](Machine &machine, std::vector<Cycles> &costs) {
+            auto &mem = machine.memory();
+            // A raw span straddling the untrusted/EPC boundary. The
+            // model prices the whole span by its starting domain,
+            // but the touched lines (and their MEE writebacks on
+            // eviction) live on both sides — the planes must agree
+            // on all of it.
+            const Addr boundary = AddressSpace::kEpcBase;
+            costs.push_back(mem.readBuffer(boundary - 128, 256));
+            costs.push_back(mem.writeBuffer(boundary - 128, 256));
+            mem.evictRange(boundary - 128, 256);
+            costs.push_back(mem.readBuffer(boundary - 64, 128));
+            costs.push_back(
+                mem.writeBuffer(boundary - 65, 130,
+                                /*flush_after=*/true));
+        },
+        "cross-domain spans");
+}
+
+TEST(BulkSpan, SpanAtTopOfAddressSpaceTerminates)
+{
+    // Count-form loops only: a span ending exactly at the top of the
+    // 64-bit address space must not wrap (the inclusive end address
+    // is 0) and must cost the same in both planes.
+    expectPlanesAgree(
+        [](Machine &machine, std::vector<Cycles> &costs) {
+            auto &mem = machine.memory();
+            const Addr top_line = ~Addr{0} - 63; // 0xFF...FFC0
+            costs.push_back(mem.readBuffer(top_line, 64));
+            costs.push_back(mem.readBuffer(top_line - 64, 128));
+            costs.push_back(mem.readBuffer(~Addr{0}, 1));
+            costs.push_back(mem.writeBuffer(top_line, 64));
+            costs.push_back(
+                mem.writeBuffer(top_line + 1, 63,
+                                /*flush_after=*/true));
+            mem.evictRange(top_line - 64, 128);
+            costs.push_back(mem.readBuffer(top_line, 64));
+        },
+        "top-of-address-space spans");
+}
+
+// ----------------------------------------------------------------------
+// HC_CHECK visibility: a registered sync word swept by a span keeps
+// its acquire/release semantics in both planes, so a bulk copy over
+// a channel line still orders the plain accesses around it.
+// ----------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Producer (core 0) writes a plain word, then span-writes a buffer
+ * containing @p with_sync_word ? a registered sync word : nothing.
+ * Consumer (core 1) later span-reads the buffer, then reads the
+ * plain word. With the sync word the span ops form a release/acquire
+ * edge and the plain accesses are ordered; without it they race.
+ * @return the number of Race violations SimCheck reported.
+ */
+std::uint64_t
+spanSyncRaces(int bulk_span, bool with_sync_word)
+{
+    MachineConfig config;
+    config.mem.bulkSpanMode = bulk_span;
+    config.check.enabled = true;
+    Machine machine(config);
+    auto &mem = machine.memory();
+    const Addr span = machine.space().allocUntrusted(4096, 64);
+    const Addr data = machine.space().allocUntrusted(64, 64);
+    if (with_sync_word)
+        machine.check()->registerSyncWord(span + 1024);
+    machine.engine().spawn("producer", 0, [&] {
+        mem.accessWord(data, /*write=*/true);
+        mem.writeBuffer(span, 4096);
+    });
+    machine.engine().spawn("consumer", 1, [&] {
+        machine.engine().sleepUntil(1'000'000);
+        mem.readBuffer(span, 4096);
+        mem.accessWord(data, /*write=*/false);
+    });
+    machine.engine().run();
+    return machine.check()->count(check::ViolationKind::Race);
+}
+
+} // anonymous namespace
+
+TEST(BulkSpan, SyncWordInsideSpanStaysVisibleToSimCheck)
+{
+    for (const int bulk : {0, 1}) {
+        EXPECT_EQ(spanSyncRaces(bulk, /*with_sync_word=*/true), 0u)
+            << "bulk=" << bulk;
+        // Control: without the sync word the same schedule races, so
+        // the pass above is the span hook working, not the detector
+        // being blind.
+        EXPECT_GE(spanSyncRaces(bulk, /*with_sync_word=*/false), 1u)
+            << "bulk=" << bulk;
+    }
+}
