@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -61,10 +62,14 @@ struct TestBed {
     /**
      * @param with_interrupts  arm the OS-timer/AEX model
      * @param options          marshalling options
+     * @param seed             engine RNG seed
+     * @param tweak            last-word edit of the MachineConfig
+     *                         (ablations pinning Sentinel/SimCheck)
      */
-    explicit TestBed(bool with_interrupts = true,
-                     edl::MarshalOptions options = {},
-                     std::uint64_t seed = 42)
+    explicit TestBed(
+        bool with_interrupts = true, edl::MarshalOptions options = {},
+        std::uint64_t seed = 42,
+        const std::function<void(mem::MachineConfig &)> &tweak = {})
     {
         mem::MachineConfig config;
         config.engine.numCores = 8;
@@ -73,6 +78,8 @@ struct TestBed {
         // AEX events per 200,000 enclave-bound measurements.
         config.engine.interruptMeanCycles =
             with_interrupts ? 7'000'000 : 0;
+        if (tweak)
+            tweak(config);
         machine = std::make_unique<mem::Machine>(config);
         platform = std::make_unique<sgx::SgxPlatform>(*machine);
         platform->installAexHandler();

@@ -371,7 +371,11 @@ HotQueueProtocol::~HotQueueProtocol()
     for (int slot = 0; slot < numSlots_; ++slot) {
         const SlotShadow &shadow =
             slots_[static_cast<std::size_t>(slot)];
-        if (shadow.state == State::Free)
+        // A Zombie at teardown is a deliberately retired slot whose
+        // logical call was reissued on the SDK path (Sentinel
+        // reclaim) — a capacity loss, not a lost request.
+        if (shadow.state == State::Free ||
+            shadow.state == State::Zombie)
             continue;
         check_.reportProtocol(
             "hotqueue '" + name_ + "' slot " + std::to_string(slot) +
@@ -390,6 +394,7 @@ HotQueueProtocol::stateName(State state)
       case State::Ready: return "Ready";
       case State::Serving: return "Serving";
       case State::Done: return "Done";
+      case State::Zombie: return "Zombie";
     }
     return "?";
 }
@@ -470,6 +475,67 @@ HotQueueProtocol::onHarvest(int slot)
             "hotqueue '" + name_ + "' slot " + std::to_string(slot) +
             ": harvested by thread '" + check_.currentThreadName() +
             "' but claimed by thread '" + shadow.claimer + "'");
+    }
+}
+
+void
+HotQueueProtocol::onReclaimReady(int slot)
+{
+    if (!transition(slot, State::Ready, State::Zombie,
+                    "ready-reclaim"))
+        return;
+    SlotShadow &shadow = slots_[static_cast<std::size_t>(slot)];
+    if (shadow.claimer != check_.currentThreadName()) {
+        check_.reportProtocol(
+            "hotqueue '" + name_ + "' slot " + std::to_string(slot) +
+            ": Ready slot reclaimed by thread '" +
+            check_.currentThreadName() + "' but claimed by '" +
+            shadow.claimer + "'");
+    }
+}
+
+void
+HotQueueProtocol::onReclaimServing(int slot)
+{
+    if (!transition(slot, State::Serving, State::Zombie,
+                    "serving-reclaim"))
+        return;
+    SlotShadow &shadow = slots_[static_cast<std::size_t>(slot)];
+    const std::string current = check_.currentThreadName();
+    if (shadow.claimer != current) {
+        check_.reportProtocol(
+            "hotqueue '" + name_ + "' slot " + std::to_string(slot) +
+            ": Serving slot reclaimed by thread '" + current +
+            "' but claimed by '" + shadow.claimer +
+            "' (only the waiting claimer may give up on its own "
+            "request)");
+    }
+}
+
+void
+HotQueueProtocol::onReclaimPublishing(int slot)
+{
+    if (!transition(slot, State::Publishing, State::Zombie,
+                    "publishing-reclaim"))
+        return;
+    SlotShadow &shadow = slots_[static_cast<std::size_t>(slot)];
+    const std::string current = check_.currentThreadName();
+    if (shadow.claimer == current) {
+        check_.reportProtocol(
+            "hotqueue '" + name_ + "' slot " + std::to_string(slot) +
+            ": Publishing slot reclaimed by its own claimer '" +
+            current + "' (the claimer must publish or keep the slot; "
+            "only the head scan may retire a stalled publisher)");
+    }
+}
+
+void
+HotQueueProtocol::onZombieRetire(int slot)
+{
+    if (transition(slot, State::Zombie, State::Free, "zombie-retire")) {
+        SlotShadow &shadow = slots_[static_cast<std::size_t>(slot)];
+        shadow.claimer.clear();
+        shadow.server.clear();
     }
 }
 
@@ -584,21 +650,63 @@ HotCallProtocol::onPublish()
     }
     go_ = true;
     serving_ = false;
+    abandoned_ = false;
+    publisher_ = check_.currentThreadName();
 }
 
 void
 HotCallProtocol::onServe()
 {
-    if (!go_ || serving_) {
+    if (!go_ || serving_ || abandoned_) {
         check_.reportProtocol(
             "hotcall '" + name_ + "': serve by thread '" +
             check_.currentThreadName() +
-            (serving_ ? "' of a request already being served"
-                      : "' with no published request"));
+            (serving_
+                 ? "' of a request already being served"
+                 : (abandoned_
+                        ? "' of an abandoned request (the publisher "
+                          "already reissued it; it must be discarded)"
+                        : "' with no published request")));
         return;
     }
     serving_ = true;
     server_ = check_.currentThreadName();
+}
+
+void
+HotCallProtocol::onAbandon()
+{
+    const std::string current = check_.currentThreadName();
+    if (!go_ || serving_ || abandoned_) {
+        check_.reportProtocol(
+            "hotcall '" + name_ + "': abandon by thread '" + current +
+            (serving_ ? "' of a request already being served"
+                      : (abandoned_ ? "' of an already-abandoned "
+                                      "request"
+                                    : "' with no published request")));
+        return;
+    }
+    if (publisher_ != current) {
+        check_.reportProtocol(
+            "hotcall '" + name_ + "': abandon by thread '" + current +
+            "' but published by '" + publisher_ + "'");
+    }
+    abandoned_ = true;
+}
+
+void
+HotCallProtocol::onDiscard()
+{
+    if (!go_ || !abandoned_ || serving_) {
+        check_.reportProtocol(
+            "hotcall '" + name_ + "': discard by thread '" +
+            check_.currentThreadName() +
+            (go_ ? "' of a request that was never abandoned"
+                 : "' with no request in flight"));
+        return;
+    }
+    go_ = false;
+    abandoned_ = false;
 }
 
 void

@@ -275,6 +275,30 @@ class HotQueueProtocol
     void onComplete(int slot); //!< Serving -> Done, by the grabber
     void onHarvest(int slot);  //!< Done -> Free, by the claimer
 
+    // ------------------------------------------------------------------
+    // Sentinel reclaim transitions (guard/guard.hh). A reclaimed slot
+    // goes to Zombie — out of circulation but not yet reusable — and
+    // comes back Free via onZombieRetire once every party that might
+    // still reference it has let go.
+    // ------------------------------------------------------------------
+
+    /** Ready -> Zombie: the claimer gave up on a published request no
+     *  responder ever grabbed. Legal only for the claimer. */
+    void onReclaimReady(int slot);
+
+    /** Serving -> Zombie: the claimer gave up on a grabbed request
+     *  whose server never started executing it. Legal only for the
+     *  claimer — the server must use onComplete, never reclaim. */
+    void onReclaimServing(int slot);
+
+    /** Publishing -> Zombie: the head scan retired a slot whose
+     *  claimer stalled mid-marshal. Legal only for a NON-claimer (the
+     *  claimer itself must publish or keep the slot). */
+    void onReclaimPublishing(int slot);
+
+    /** Zombie -> Free: the retired slot rejoins the ring. */
+    void onZombieRetire(int slot);
+
     /**
      * The slot's FastPath staging arena is about to be recycled
      * (bump pointer reset: every piece of the previous call on this
@@ -291,7 +315,7 @@ class HotQueueProtocol
     void onCursors(std::uint64_t head, std::uint64_t tail);
 
   private:
-    enum class State { Free, Publishing, Ready, Serving, Done };
+    enum class State { Free, Publishing, Ready, Serving, Done, Zombie };
 
     struct SlotShadow {
         State state = State::Free;
@@ -335,14 +359,26 @@ class HotCallProtocol
     void onServe();    //!< responder committed to the published request
     void onComplete(); //!< "go" cleared after execution (by the server)
 
+    /** The publisher gave up on a request no responder committed to
+     *  (Sentinel abandon). Legal only while published-but-unserved,
+     *  and only for the publisher; the channel stays poisoned until a
+     *  responder discards the stale request. */
+    void onAbandon();
+
+    /** A responder dropped an abandoned request without serving it
+     *  (the channel is clean again). Legal only after onAbandon. */
+    void onDiscard();
+
   private:
     SimCheck &check_;
     std::string name_;
     bool locked_ = false;
     bool go_ = false;
     bool serving_ = false;
+    bool abandoned_ = false;
     std::string holder_;
     std::string server_;
+    std::string publisher_;
 };
 
 } // namespace hc::check

@@ -21,6 +21,7 @@ siteName(Site site)
       case Site::CursorStall: return "cursor_stall";
       case Site::PortFallback: return "port_fallback";
       case Site::EpcPressure: return "epc_pressure";
+      case Site::PublisherStall: return "publisher_stall";
     }
     return "?";
 }

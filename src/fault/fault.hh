@@ -70,11 +70,16 @@ enum class Site {
     /** EPC pressure spikes: fired by campaign drivers that allocate
      *  and touch enclave memory when it triggers. */
     EpcPressure,
+    /** A HotQueue requester between claiming a slot and publishing
+     *  it: firing stalls the marshalling for a delay drawn from the
+     *  site's distribution. Past the Sentinel publish leash the head
+     *  scan retires the slot out from under the publisher. */
+    PublisherStall,
 };
 
 /** Number of named sites (array bound). */
 constexpr std::size_t kSiteCount =
-    static_cast<std::size_t>(Site::EpcPressure) + 1;
+    static_cast<std::size_t>(Site::PublisherStall) + 1;
 
 /** @return the site's stable display name. */
 const char *siteName(Site site);

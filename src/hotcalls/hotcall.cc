@@ -55,6 +55,11 @@ HotCallService::HotCallService(sdk::EnclaveRuntime &runtime, Kind kind,
         protocol_ = std::make_unique<check::HotCallProtocol>(
             *ck, kind_ == Kind::HotEcall ? "hot-ecall" : "hot-ocall");
     }
+    if (auto *sentinel = machine_.guard()) {
+        guard_ = &sentinel->adopt(
+            kind_ == Kind::HotEcall ? "hot-ecall" : "hot-ocall",
+            config_.timeout);
+    }
 
     // FastPath channel staging. Allocated strictly after the legacy
     // channel line so a disabled fast path leaves the address layout
@@ -103,8 +108,11 @@ HotCallService::~HotCallService()
     // kernel ocall that never returns) may still hold the line, so it
     // is deliberately leaked in that case.
     const bool outside_sim = machine_.engine().currentThread() == nullptr;
-    if (outside_sim || !responder_ ||
-        responder_->state() == sim::ThreadState::Done) {
+    bool all_done =
+        !responder_ || responder_->state() == sim::ThreadState::Done;
+    for (sim::Thread *old : retired_)
+        all_done &= old->state() == sim::ThreadState::Done;
+    if (outside_sim || all_done) {
         machine_.space().free(channelLine_);
     } else if (auto *ck = machine_.check()) {
         const char *why =
@@ -122,7 +130,7 @@ HotCallService::~HotCallService()
 }
 
 void
-HotCallService::joinResponder()
+HotCallService::joinOne(sim::Thread *responder)
 {
     // Only possible from inside a simulated thread while the engine
     // is still running; outside (e.g. teardown after Engine::run()
@@ -133,18 +141,26 @@ HotCallService::joinResponder()
     constexpr Cycles kJoinGrace = 2'000'000;
     constexpr Cycles kJoinStep = 500;
     auto *engine = sim::Engine::current();
-    if (!engine || !engine->currentThread() || !responder_)
+    if (!engine || !engine->currentThread() || !responder)
         return;
     for (Cycles waited = 0;
-         responder_->state() != sim::ThreadState::Done &&
+         responder->state() != sim::ThreadState::Done &&
          !engine->stopRequested() && waited < kJoinGrace;
          waited += kJoinStep) {
         engine->advance(kJoinStep);
     }
-    if (responder_->state() == sim::ThreadState::Done) {
+    if (responder->state() == sim::ThreadState::Done) {
         if (auto *ck = machine_.check())
-            ck->joinEdge(responder_);
+            ck->joinEdge(responder);
     }
+}
+
+void
+HotCallService::joinResponder()
+{
+    joinOne(responder_);
+    for (sim::Thread *old : retired_)
+        joinOne(old);
 }
 
 void
@@ -165,8 +181,36 @@ HotCallService::start()
     hc_assert(!responder_);
     const char *name = kind_ == Kind::HotEcall ? "hot-ecall-responder"
                                                : "hot-ocall-responder";
-    responder_ = machine_.engine().spawn(name, responderCore_,
-                                         [this] { responderLoop(); });
+    const std::uint64_t epoch = responderEpoch_;
+    responder_ = machine_.engine().spawn(
+        name, responderCore_, [this, epoch] { responderLoop(epoch); });
+}
+
+void
+HotCallService::maybeRespawn(bool entered_quarantine)
+{
+    if (!entered_quarantine || !guard_)
+        return;
+    const Cycles now = machine_.now();
+    // Respawn only when the responder is provably wedged (no
+    // heartbeat within the liveness window): a quarantine caused by
+    // sheer overload is not cured by killing the worker.
+    if (!guard_->config().respawn || !guard_->responderLate(now))
+        return;
+    if (!guard_->respawnAllowed())
+        return;
+    // Retire the wedged fiber — it exits at its next retirement
+    // check and is joined at stop() — and put a fresh responder on
+    // the same core. The quarantine probe confirms the recovery.
+    retired_.push_back(responder_);
+    ++responderEpoch_;
+    const std::uint64_t epoch = responderEpoch_;
+    const std::string name =
+        std::string(kind_ == Kind::HotEcall ? "hot-ecall-responder-r"
+                                            : "hot-ocall-responder-r") +
+        std::to_string(responderEpoch_);
+    responder_ = machine_.engine().spawn(
+        name, responderCore_, [this, epoch] { responderLoop(epoch); });
 }
 
 void
@@ -179,6 +223,8 @@ HotCallService::stop()
     if (!engine || !engine->currentThread()) {
         // Outside the simulation nothing can still run; there is no
         // join to wait for, so stop is complete.
+        if (guard_)
+            guard_->flush(machine_.now());
         stopped_ = true;
         return;
     }
@@ -191,6 +237,21 @@ HotCallService::stop()
         sleepCond_.signal();
     sleepMutex_.unlock();
     joinResponder();
+    if (guard_) {
+        // Drain a still-poisoned channel: every responder that could
+        // have discarded the abandoned request has exited, so the
+        // supervisor performs the teardown discard itself.
+        if (abandoned_) {
+            go_ = false;
+            abandoned_ = false;
+            touchChannel(true);
+            if (protocol_)
+                protocol_->onDiscard();
+            guard_->noteDiscard();
+        }
+        guard_->flush(machine_.now());
+        stats_.degradedCycles = guard_->degradedCycles(machine_.now());
+    }
     stopped_ = true;
 }
 
@@ -215,10 +276,35 @@ HotCallService::call(int id, const edl::Args &args)
         throw sgx::SgxFault("HotOcall issued outside enclave mode");
     }
 
+    // Sentinel routing: a quarantined channel sheds straight to the
+    // SDK with zero spin waste (counted as a fallback that spent no
+    // attempts), except for one scheduled probe per backoff interval.
+    bool probing = false;
+    if (guard_) {
+        const auto route = guard_->route(machine_.now());
+        if (route == guard::ChannelGuard::Route::Shed) {
+            ++stats_.fallbacks;
+            ++stats_.degradedCalls;
+            guard_->onShed(machine_.now());
+            stats_.degradedCycles =
+                guard_->degradedCycles(machine_.now());
+            return is_ocall ? runtime_.ocall(id, args)
+                            : runtime_.ecall(id, args);
+        }
+        probing = route == guard::ChannelGuard::Route::Probe;
+    }
+
     engine.advance(kRequesterFixed);
+    const Cycles call_start = machine_.now();
 
     auto *injector = machine_.fault();
-    for (int attempt = 0; attempt < config_.timeoutTries; ++attempt) {
+    // The spin budget: the configured fixed value on the healthy path
+    // (bit-identical to the pre-Sentinel channel — the budget only
+    // matters at exhaustion, which implies a fallback), widened from
+    // the latency estimate once the channel looks distressed.
+    const int budget = guard_ ? guard_->attemptBudget(call_start)
+                              : config_.timeout.timeoutTries;
+    for (int attempt = 0; attempt < budget; ++attempt) {
         if (injector &&
             injector->fire(fault::Site::RequesterAttempt)) {
             // Forced expiry: behave exactly as if the channel were
@@ -299,6 +385,7 @@ HotCallService::call(int id, const edl::Args &args)
         callId_ = id;
         touchChannel(true); // publish *data and call_ID
         go_ = true;
+        requestServed_ = false;
         if (protocol_)
             protocol_->onPublish();
         touchChannel(true); // mark the responder busy ("go")
@@ -330,6 +417,7 @@ HotCallService::call(int id, const edl::Args &args)
         // and when this requester is the only runnable fiber left the
         // spin would keep the host alive forever — bail out instead,
         // like the bounded join loops in stop().
+        const Cycles wait_start = machine_.now();
         for (;;) {
             touchChannel(false);
             if (!go_)
@@ -346,10 +434,48 @@ HotCallService::call(int id, const edl::Args &args)
                 }
                 return 0;
             }
+            if (guard_ && !requestServed_ &&
+                machine_.now() - wait_start >
+                    guard_->unservedDeadline() &&
+                guard_->responderLate(machine_.now())) {
+                // Abandon: no live responder ever committed to the
+                // published request, and none has shown a heartbeat
+                // within the liveness window. Poison the channel (go_
+                // stays up so no requester can claim it; the next
+                // responder to see it discards without serving — the
+                // served/abandoned handoff is host-atomic, so the
+                // request is either discarded or served, never both)
+                // and reissue the call on the SDK path.
+                abandoned_ = true;
+                touchChannel(true);
+                if (protocol_)
+                    protocol_->onAbandon();
+                guard_->noteAbandon();
+                if (fast_call) {
+                    // Release the staging claim; a discarding
+                    // responder never reads the staging.
+                    usedArena_ = false;
+                    slotBusy_ = false;
+                }
+                ++stats_.fallbacks;
+                maybeRespawn(
+                    guard_->onFallback(machine_.now(), probing));
+                stats_.degradedCycles =
+                    guard_->degradedCycles(machine_.now());
+                return is_ocall ? runtime_.ocall(id, args)
+                                : runtime_.ecall(id, args);
+            }
             engine.advance(sdk::kPauseCycles +
                            rng.nextBelow(config_.pollJitter + 1));
         }
         ++stats_.calls;
+        if (guard_) {
+            guard_->onSuccess(machine_.now(),
+                              machine_.now() - call_start, attempt,
+                              probing);
+            stats_.degradedCycles =
+                guard_->degradedCycles(machine_.now());
+        }
 
         // Note: the shared request-pointer fields are NOT cleared
         // here. Once the busy flag dropped, another requester may
@@ -380,6 +506,10 @@ HotCallService::call(int id, const edl::Args &args)
     // Timeout expired: fall back to the conventional SDK call
     // (Section 4.2, "Preventing starvation").
     ++stats_.fallbacks;
+    if (guard_) {
+        maybeRespawn(guard_->onFallback(machine_.now(), probing));
+        stats_.degradedCycles = guard_->degradedCycles(machine_.now());
+    }
     return is_ocall ? runtime_.ocall(id, args)
                     : runtime_.ecall(id, args);
 }
@@ -435,7 +565,7 @@ HotCallService::serveRequest()
 }
 
 void
-HotCallService::responderLoop()
+HotCallService::responderLoop(std::uint64_t epoch)
 {
     auto &engine = machine_.engine();
     auto &rng = engine.rng();
@@ -445,6 +575,19 @@ HotCallService::responderLoop()
     // conventional ecall and keeps polling from enclave mode.
     sgx::Tcs *tcs = nullptr;
     if (kind_ == Kind::HotEcall) {
+        // A respawned responder can be scheduled before its retired
+        // predecessor has left the enclave on this core (it eexits as
+        // soon as it observes its retirement): wait for the core to
+        // clear — the simulator allows one in-enclave fiber per core.
+        while (platform.inEnclave(responderCore_) &&
+               !stopRequested_ && !engine.stopRequested() &&
+               epoch == responderEpoch_) {
+            engine.advance(sdk::kPauseCycles);
+            engine.yield();
+        }
+        if (stopRequested_ || engine.stopRequested() ||
+            epoch != responderEpoch_)
+            return;
         platform.chargeStage(platform.params().sdkEcallSoftware,
                              runtime_.enclave().untrustedCtxLines(),
                              false);
@@ -459,15 +602,19 @@ HotCallService::responderLoop()
 
     auto *injector = machine_.fault();
     std::uint64_t idle_polls = 0;
-    while (!stopRequested_) {
+    while (!stopRequested_ && epoch == responderEpoch_) {
         ++stats_.responderPolls;
+        if (guard_)
+            guard_->heartbeat(machine_.now());
 
         if (injector) {
             if (injector->fire(fault::Site::ResponderNeverWake)) {
                 // Park for good: requesters see a saturated channel
-                // until the channel (or the engine) stops. Stepped so
-                // the stopAtCycle backstop can still fire.
-                while (!stopRequested_ && !engine.stopRequested()) {
+                // until the channel (or the engine) stops — or, under
+                // Sentinel, until a respawn retires this fiber.
+                // Stepped so the stopAtCycle backstop can still fire.
+                while (!stopRequested_ && !engine.stopRequested() &&
+                       epoch == responderEpoch_) {
                     injector->pollStop();
                     engine.advance(sdk::kPauseCycles * 16);
                     engine.yield();
@@ -490,21 +637,46 @@ HotCallService::responderLoop()
             if (go_) {
                 idle_polls = 0;
                 touchChannel(false); // read call_ID and *data
-                if (protocol_)
-                    protocol_->onServe();
-                lockWord_ = false;
-                if (protocol_)
-                    protocol_->onUnlock();
-                touchChannel(true); // release before executing
-                serveRequest();
-                go_ = false;
-                if (protocol_)
-                    protocol_->onComplete();
-                touchChannel(true); // flag completion (busy cleared)
-                if (rng.chance(config_.hiccupChance)) {
-                    engine.advance(static_cast<Cycles>(
-                        rng.nextExponential(static_cast<double>(
-                            config_.hiccupMean))));
+                if (guard_ && abandoned_) {
+                    // The publisher gave up on this request and
+                    // reissued it on the SDK path; its staging is
+                    // gone. Discard: drop the poison marker and the
+                    // busy flag together without dereferencing the
+                    // stale request pointers.
+                    go_ = false;
+                    abandoned_ = false;
+                    if (protocol_)
+                        protocol_->onDiscard();
+                    guard_->noteDiscard();
+                    lockWord_ = false;
+                    if (protocol_)
+                        protocol_->onUnlock();
+                    touchChannel(true); // release; channel clean again
+                } else {
+                    // Commit host-atomically with the abandoned_
+                    // check above (no advance in between): the
+                    // publisher only abandons while !requestServed_,
+                    // so a request is either discarded or served,
+                    // never both.
+                    requestServed_ = true;
+                    if (protocol_)
+                        protocol_->onServe();
+                    lockWord_ = false;
+                    if (protocol_)
+                        protocol_->onUnlock();
+                    touchChannel(true); // release before executing
+                    serveRequest();
+                    go_ = false;
+                    if (protocol_)
+                        protocol_->onComplete();
+                    touchChannel(true); // busy cleared (completion)
+                    if (guard_)
+                        guard_->heartbeat(machine_.now());
+                    if (rng.chance(config_.hiccupChance)) {
+                        engine.advance(static_cast<Cycles>(
+                            rng.nextExponential(static_cast<double>(
+                                config_.hiccupMean))));
+                    }
                 }
             } else {
                 ++idle_polls;

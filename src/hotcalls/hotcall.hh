@@ -32,8 +32,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "check/check.hh"
+#include "guard/guard.hh"
 #include "sdk/runtime.hh"
 #include "sdk/spinlock.hh"
 #include "sdk/thread_sync.hh"
@@ -86,9 +88,10 @@ class Channel
 
 /** Tunables (paper Section 4.2). */
 struct HotCallConfig {
-    /** Lock/busy attempts before falling back to the SDK call. The
-     *  paper uses 10 and reports it never expired. */
-    int timeoutTries = 10;
+    /** Timeout policy (shared with HotQueue and the porting layer):
+     *  the fixed spin budget plus Sentinel's adaptive-budget and
+     *  reclaim-deadline knobs (guard/guard.hh). */
+    guard::TimeoutPolicy timeout;
     /** Enable responder idle sleep on a condition variable. */
     bool responderSleep = false;
     /** Empty polls before the responder goes to sleep. */
@@ -130,6 +133,10 @@ struct HotCallStats {
     std::uint64_t inlineStaged = 0; //!< used the inline slot lines
     std::uint64_t arenaStaged = 0;  //!< used the spill arena
     std::uint64_t heapStaged = 0;   //!< spilled past the arena to heap
+    // Sentinel quarantine (guard/guard.hh). Degraded calls also count
+    // as fallbacks (they took the SDK path) but spend zero attempts.
+    std::uint64_t degradedCalls = 0; //!< shed straight to the SDK
+    Cycles degradedCycles = 0;       //!< time spent quarantined
 };
 
 /**
@@ -183,12 +190,23 @@ class HotCallService : public Channel
     Kind kind() const { return kind_; }
     const HotCallConfig &config() const { return config_; }
 
-  private:
-    /** The responder thread body. */
-    void responderLoop();
+    /** @return the channel's Sentinel guard, or null (guard off). */
+    const guard::ChannelGuard *guard() const { return guard_; }
 
-    /** Wait (charging time) until the responder fiber has exited. */
+  private:
+    /** The responder thread body (@p epoch: retirement generation —
+     *  the loop exits once a respawn supersedes it). */
+    void responderLoop(std::uint64_t epoch);
+
+    /** Wait (charging time) until @p responder has exited. */
+    void joinOne(sim::Thread *responder);
+
+    /** Wait for the live responder and every retired one. */
     void joinResponder();
+
+    /** On quarantine entry: retire the wedged responder fiber and
+     *  spawn a replacement, within the guard's respawn budget. */
+    void maybeRespawn(bool entered_quarantine);
 
     /** One priced access to the shared channel line. */
     void touchChannel(bool write);
@@ -225,6 +243,14 @@ class HotCallService : public Channel
     bool lockWord_ = false;    //!< the sgx_spin_lock word
     bool go_ = false;          //!< responder busy / request published
     bool sleeping_ = false;    //!< responder parked on the condvar
+    /** Sentinel protocol extensions, conceptually on the same line.
+     *  served: the responder committed to the published request (set
+     *  host-atomically with its go_ re-check, so a request is either
+     *  discarded or served, never both). abandoned: the publisher
+     *  gave up waiting; the channel stays poisoned (go_ held) until a
+     *  responder discards the stale request. */
+    bool requestServed_ = false;
+    bool abandoned_ = false;
     int callId_ = -1;
     edl::StagedCall *ocallRequest_ = nullptr; //!< the *data pointer
     EcallRequest *ecallRequest_ = nullptr;
@@ -251,9 +277,16 @@ class HotCallService : public Channel
     sdk::SgxThreadCond sleepCond_;
 
     sim::Thread *responder_ = nullptr;
+    /** Fibers superseded by a Sentinel respawn: they exit at their
+     *  next retirement check and are joined/accounted at stop(). */
+    std::vector<sim::Thread *> retired_;
+    std::uint64_t responderEpoch_ = 0;
     bool stopRequested_ = false;
     bool stopped_ = false; //!< stop() completed (join done)
     HotCallStats stats_;
+
+    /** Sentinel supervision, or null when the guard is off. */
+    guard::ChannelGuard *guard_ = nullptr;
 
     /** Shadow state machine when the Machine's checker is on. */
     std::unique_ptr<check::HotCallProtocol> protocol_;

@@ -74,6 +74,11 @@ HotQueue::HotQueue(sdk::EnclaveRuntime &runtime, Kind kind,
             *ck, kind_ == Kind::HotEcall ? "hotq-ecall" : "hotq-ocall",
             config_.numSlots);
     }
+    if (auto *sentinel = machine_.guard()) {
+        guard_ = &sentinel->adopt(
+            kind_ == Kind::HotEcall ? "hotq-ecall" : "hotq-ocall",
+            config_.timeout);
+    }
 
     // FastPath per-slot staging. Allocated strictly after the legacy
     // ring lines so a disabled fast path leaves the address layout
@@ -220,6 +225,8 @@ HotQueue::stop()
     if (!engine || !engine->currentThread()) {
         // Outside the simulation nothing can still run; there is no
         // join to wait for, so stop is complete.
+        if (guard_)
+            guard_->flush(machine_.now());
         stopped_ = true;
         return;
     }
@@ -247,6 +254,10 @@ HotQueue::stop()
                 ck->joinEdge(responder);
         }
     }
+    if (guard_) {
+        guard_->flush(machine_.now());
+        stats_.degradedCycles = guard_->degradedCycles(machine_.now());
+    }
     stopped_ = true;
 }
 
@@ -271,7 +282,26 @@ HotQueue::call(int id, const edl::Args &args)
         throw sgx::SgxFault("HotOcall issued outside enclave mode");
     }
 
+    // Sentinel routing: a quarantined ring sheds straight to the SDK
+    // with zero spin waste (counted as a fallback that spent no
+    // attempts), except for one scheduled probe per backoff interval.
+    bool probing = false;
+    if (guard_) {
+        const auto route = guard_->route(machine_.now());
+        if (route == guard::ChannelGuard::Route::Shed) {
+            ++stats_.fallbacks;
+            ++stats_.degradedCalls;
+            guard_->onShed(machine_.now());
+            stats_.degradedCycles =
+                guard_->degradedCycles(machine_.now());
+            return is_ocall ? runtime_.ocall(id, args)
+                            : runtime_.ecall(id, args);
+        }
+        probing = route == guard::ChannelGuard::Route::Probe;
+    }
+
     engine.advance(kRequesterFixed);
+    const Cycles call_start = machine_.now();
 
     auto *injector = machine_.fault();
     // At most one *successful* scale-up wake per logical call: a call
@@ -279,7 +309,13 @@ HotQueue::call(int id, const edl::Args &args)
     // signal (and count a scale-up) once per attempt, inflating the
     // scale statistics and thrashing the parked pool.
     bool scale_woken = false;
-    for (int attempt = 0; attempt < config_.timeoutTries; ++attempt) {
+    // The claim budget: the configured fixed value on the healthy
+    // path (bit-identical to the pre-Sentinel ring — the budget only
+    // matters at exhaustion, which implies a fallback), widened from
+    // the latency estimate once the ring looks distressed.
+    const int budget = guard_ ? guard_->attemptBudget(call_start)
+                              : config_.timeout.timeoutTries;
+    for (int attempt = 0; attempt < budget; ++attempt) {
         if (injector &&
             injector->fire(fault::Site::RequesterAttempt)) {
             // Forced expiry: behave exactly as if the claim failed.
@@ -299,6 +335,15 @@ HotQueue::call(int id, const edl::Args &args)
         // Re-validate after the priced probes (another producer may
         // have claimed meanwhile), then claim with no time charged in
         // between — the simulation-level equivalent of cmpxchg.
+        if (guard_ && tail_ == ticket &&
+            slot.state == SlotState::Zombie && slot.ownerless) {
+            // Reclamation debris parked at the producer cursor: a
+            // Serving-reclaim whose server wedged for good (the head
+            // scan only clears Zombies it has not passed yet). The
+            // epoch bump at reclaim already voided the wedge's grab,
+            // so the claimer retires the hole and claims the slot.
+            retireZombie(idx);
+        }
         if (tail_ != ticket || slot.state != SlotState::Free) {
             // Ring full or claim lost: more load than the active
             // pool drains; try to grow it (once per logical call).
@@ -310,6 +355,9 @@ HotQueue::call(int id, const edl::Args &args)
             continue;
         }
         slot.state = SlotState::Publishing;
+        ++slot.epoch;
+        const std::uint64_t my_epoch = slot.epoch;
+        slot.claimedAt = machine_.now();
         tail_ = ticket + 1;
         if (protocol_) {
             protocol_->onClaim(static_cast<int>(idx));
@@ -325,6 +373,26 @@ HotQueue::call(int id, const edl::Args &args)
             injector->requestStop();
             ++stats_.aborts;
             return 0;
+        }
+        if (injector && injector->fire(fault::Site::PublisherStall)) {
+            // The publisher wedges mid-marshalling: the slot sits in
+            // Publishing long enough for the head scan's publish
+            // leash to retire it out from under us.
+            engine.advance(injector->delay(fault::Site::PublisherStall));
+        }
+        if (guard_ && slot.epoch != my_epoch) {
+            // The head scan retired the slot past the publish leash
+            // while we were stalled: our claim is void. Retire the
+            // Zombie (its publisher is its only retirer) and reissue
+            // on the SDK path.
+            if (slot.state == SlotState::Zombie)
+                retireZombie(idx);
+            ++stats_.fallbacks;
+            maybeRespawn(guard_->onFallback(machine_.now(), probing));
+            stats_.degradedCycles =
+                guard_->degradedCycles(machine_.now());
+            return is_ocall ? runtime_.ocall(id, args)
+                            : runtime_.ecall(id, args);
         }
 
         // Marshal into the claimed slot (a HotOcall requester runs
@@ -368,6 +436,18 @@ HotQueue::call(int id, const edl::Args &args)
             ecall_req.args = &args;
             slot.ecall = &ecall_req;
         }
+        if (guard_ && slot.epoch != my_epoch) {
+            // Zombied during the marshalling advances (same recovery
+            // as above, just later in the publish sequence).
+            if (slot.state == SlotState::Zombie)
+                retireZombie(idx);
+            ++stats_.fallbacks;
+            maybeRespawn(guard_->onFallback(machine_.now(), probing));
+            stats_.degradedCycles =
+                guard_->degradedCycles(machine_.now());
+            return is_ocall ? runtime_.ocall(id, args)
+                            : runtime_.ecall(id, args);
+        }
         slot.callId = id;
         slot.state = SlotState::Ready;
         if (protocol_)
@@ -386,6 +466,8 @@ HotQueue::call(int id, const edl::Args &args)
         // when this requester is the only runnable fiber left the
         // spin would keep the host alive forever — bail out instead,
         // like the bounded join loops in stop().
+        const Cycles wait_start = machine_.now();
+        bool reclaimed = false;
         for (;;) {
             touchSlot(idx, false);
             if (slot.state == SlotState::Done)
@@ -396,8 +478,73 @@ HotQueue::call(int id, const edl::Args &args)
                 ++stats_.aborts;
                 return 0;
             }
+            if (guard_) {
+                const Cycles now = machine_.now();
+                if (slot.state == SlotState::Ready &&
+                    slot.epoch == my_epoch &&
+                    now - wait_start > guard_->unservedDeadline() &&
+                    guard_->responderLate(now)) {
+                    // Ready-reclaim: published, but no responder ever
+                    // grabbed it and none shows a heartbeat within
+                    // the liveness window. Retire the request and
+                    // reissue it on the SDK path. The Zombie is
+                    // ownerless — the head scan retires it when the
+                    // consumer cursor reaches it.
+                    ++slot.epoch;
+                    slot.state = SlotState::Zombie;
+                    slot.ownerless = true;
+                    slot.callId = -1;
+                    slot.ocall = nullptr;
+                    slot.ecall = nullptr;
+                    slot.usedArena = false;
+                    if (protocol_)
+                        protocol_->onReclaimReady(
+                            static_cast<int>(idx));
+                    guard_->noteReclaimReady();
+                    touchSlot(idx, true);
+                    reclaimed = true;
+                    break;
+                }
+                if (slot.state == SlotState::Serving &&
+                    slot.epoch == my_epoch && !slot.dispatched &&
+                    now - slot.servingSince > guard_->servingLeash()) {
+                    // Serving-reclaim: grabbed, but the server never
+                    // started executing it (wedged mid-batch; a
+                    // dispatched handler always completes, so only
+                    // undispatched grabs are reclaimable). The epoch
+                    // bump voids the wedge's grab, and a resumed
+                    // server only epoch-checks (never writes), so the
+                    // Zombie is ownerless: the server's stale-epoch
+                    // path retires it if it resumes, and a later
+                    // claimer retires it if the wedge is permanent —
+                    // otherwise the hole would block the producer
+                    // cursor forever once the ring wraps to it.
+                    ++slot.epoch;
+                    slot.state = SlotState::Zombie;
+                    slot.ownerless = true;
+                    slot.callId = -1;
+                    slot.ocall = nullptr;
+                    slot.ecall = nullptr;
+                    slot.usedArena = false;
+                    if (protocol_)
+                        protocol_->onReclaimServing(
+                            static_cast<int>(idx));
+                    guard_->noteReclaimServing();
+                    touchSlot(idx, true);
+                    reclaimed = true;
+                    break;
+                }
+            }
             engine.advance(sdk::kPauseCycles +
                            rng.nextBelow(config_.pollJitter + 1));
+        }
+        if (reclaimed) {
+            ++stats_.fallbacks;
+            maybeRespawn(guard_->onFallback(machine_.now(), probing));
+            stats_.degradedCycles =
+                guard_->degradedCycles(machine_.now());
+            return is_ocall ? runtime_.ocall(id, args)
+                            : runtime_.ecall(id, args);
         }
         // A fast call copies its results out of the slot staging
         // BEFORE the slot is released: the arenas (and the recycled
@@ -422,6 +569,13 @@ HotQueue::call(int id, const edl::Args &args)
             protocol_->onHarvest(static_cast<int>(idx));
         touchSlot(idx, true);
         ++stats_.calls;
+        if (guard_) {
+            guard_->onSuccess(machine_.now(),
+                              machine_.now() - call_start, attempt,
+                              probing);
+            stats_.degradedCycles =
+                guard_->degradedCycles(machine_.now());
+        }
 
         if (is_ocall) {
             if (fast_call)
@@ -432,21 +586,32 @@ HotQueue::call(int id, const edl::Args &args)
         return ecall_req.retval;
     }
 
-    // The ring stayed full for `timeoutTries` probes: fall back to
+    // The ring stayed full for the whole claim budget: fall back to
     // the conventional SDK call (starvation prevention, Section 4.2)
     // and make sure the pool scales up for the next burst — unless
     // one of the failed attempts above already woke a responder.
     ++stats_.fallbacks;
+    if (guard_) {
+        maybeRespawn(guard_->onFallback(machine_.now(), probing));
+        stats_.degradedCycles = guard_->degradedCycles(machine_.now());
+    }
     if (!scale_woken)
         wakeOneResponder(true);
     return is_ocall ? runtime_.ocall(id, args)
                     : runtime_.ecall(id, args);
 }
 
-void
-HotQueue::serveRequest(std::size_t index)
+bool
+HotQueue::serveRequest(std::size_t index, std::uint64_t epoch)
 {
     Slot &slot = slots_[index];
+    // The epoch check and the dispatch commit are host-atomic (no
+    // advance in between): a slot reclaimed while queued behind a
+    // long batch is skipped as stale — its request pointers dangle —
+    // and once dispatched_ is up the requester never reclaims it.
+    if (guard_ && slot.epoch != epoch)
+        return false;
+    slot.dispatched = true;
     const Cycles start = machine_.now();
     auto &engine = machine_.engine();
     engine.advance(kResponderFixed);
@@ -496,6 +661,25 @@ HotQueue::serveRequest(std::size_t index)
     }
 
     stats_.responderBusyCycles += machine_.now() - start;
+    return true;
+}
+
+void
+HotQueue::retireZombie(std::size_t index)
+{
+    Slot &slot = slots_[index];
+    slot.state = SlotState::Free;
+    slot.callId = -1;
+    slot.ocall = nullptr;
+    slot.ecall = nullptr;
+    slot.usedArena = false;
+    slot.dispatched = false;
+    slot.ownerless = false;
+    if (protocol_)
+        protocol_->onZombieRetire(static_cast<int>(index));
+    if (guard_)
+        guard_->noteZombieRetire();
+    touchSlot(index, true);
 }
 
 int
@@ -509,37 +693,82 @@ HotQueue::tryServeBatch()
         return 0;
 
     // Grab every contiguous Ready slot from the head in one go (no
-    // time charged mid-grab: the acquisition is atomic). Entries
-    // still Publishing stay for a later poll — FIFO order holds.
+    // time charged mid-grab on the healthy path: the acquisition is
+    // atomic). Entries still Publishing stay for a later poll — FIFO
+    // order holds. Under Sentinel the scan also clears reclamation
+    // debris at the head: ownerless Zombies (Ready-reclaims — a
+    // Serving-reclaim is also ownerless, but it sits behind the head
+    // and is retired by the stale-epoch path or a wrapping claimer)
+    // and Publishing slots wedged past the
+    // publish leash; each retirement prices its slot line, and every
+    // iteration re-reads the cursors/states, so the interleaving the
+    // charge allows stays consistent.
     const int max_batch =
         config_.maxBatch > 0
             ? std::min(config_.maxBatch, config_.numSlots)
             : config_.numSlots;
-    std::vector<std::size_t> batch;
+    struct Grab {
+        std::size_t idx;
+        std::uint64_t epoch;
+    };
+    std::vector<Grab> batch;
     batch.reserve(static_cast<std::size_t>(max_batch));
+    bool head_moved = false;
     while (static_cast<int>(batch.size()) < max_batch &&
            head_ != tail_) {
-        Slot &slot = slots_[head_ % slots_.size()];
+        const std::size_t idx = head_ % slots_.size();
+        Slot &slot = slots_[idx];
+        if (guard_ && slot.state == SlotState::Zombie) {
+            if (!slot.ownerless)
+                break; // its publisher retires it; wait
+            retireZombie(idx);
+            ++head_;
+            head_moved = true;
+            continue;
+        }
+        if (guard_ && slot.state == SlotState::Publishing &&
+            machine_.now() - slot.claimedAt >
+                guard_->publishLeash()) {
+            // The publisher wedged mid-marshalling: retire the slot
+            // out from under it so the ring keeps rotating. The
+            // publisher's epoch check turns its claim into an SDK
+            // fallback and retires the Zombie.
+            ++slot.epoch;
+            slot.state = SlotState::Zombie;
+            slot.ownerless = false;
+            if (protocol_)
+                protocol_->onReclaimPublishing(static_cast<int>(idx));
+            guard_->noteReclaimPublishing();
+            touchSlot(idx, true);
+            ++head_;
+            head_moved = true;
+            continue;
+        }
         if (slot.state != SlotState::Ready)
             break;
         slot.state = SlotState::Serving;
-        batch.push_back(head_ % slots_.size());
+        slot.servingSince = machine_.now();
+        slot.dispatched = false;
+        batch.push_back({idx, slot.epoch});
         ++head_;
         if (protocol_)
-            protocol_->onGrab(static_cast<int>(batch.back()));
+            protocol_->onGrab(static_cast<int>(idx));
     }
-    if (batch.empty())
+    if (batch.empty() && !head_moved)
         return 0;
     if (protocol_)
         protocol_->onCursors(head_, tail_);
     touchHead(true); // cursor advance: one transfer for the batch
+    if (batch.empty())
+        return 0;
     ++stats_.batches;
     stats_.batchSize.add(batch.size());
 
     // Serve the whole batch before re-polling: the channel-line
     // coherence transfers above amortize over all k entries.
     auto *injector = machine_.fault();
-    for (std::size_t idx : batch) {
+    for (const Grab &grab : batch) {
+        const std::size_t idx = grab.idx;
         Slot &slot = slots_[idx];
         touchSlot(idx, false); // read call_ID and *data
         if (injector &&
@@ -550,11 +779,34 @@ HotQueue::tryServeBatch()
             injector->requestStop();
             return static_cast<int>(batch.size());
         }
-        serveRequest(idx);
+        if (injector && guard_ &&
+            injector->fire(fault::Site::ResponderNeverWake)) {
+            // Wedge for good with the rest of the batch undispatched:
+            // requesters reclaim their Serving slots past the leash,
+            // Sentinel quarantines and respawns. Stepped so the
+            // stopAtCycle backstop can still fire.
+            while (!stopRequested_ && !engine.stopRequested()) {
+                injector->pollStop();
+                engine.advance(sdk::kPauseCycles * 16);
+                engine.yield();
+            }
+            return static_cast<int>(batch.size());
+        }
+        if (!serveRequest(idx, grab.epoch)) {
+            // The slot was reclaimed while queued behind the batch;
+            // its logical call already left on the SDK path.
+            if (guard_)
+                guard_->noteStaleCompletion();
+            if (slot.state == SlotState::Zombie)
+                retireZombie(idx);
+            continue;
+        }
         slot.state = SlotState::Done;
         if (protocol_)
             protocol_->onComplete(static_cast<int>(idx));
         touchSlot(idx, true); // publish completion
+        if (guard_)
+            guard_->heartbeat(machine_.now());
         if (rng.chance(config_.hiccupChance)) {
             engine.advance(static_cast<Cycles>(rng.nextExponential(
                 static_cast<double>(config_.hiccupMean))));
@@ -603,6 +855,50 @@ HotQueue::wakeOneResponder(bool scale_event)
 }
 
 void
+HotQueue::maybeRespawn(bool entered_quarantine)
+{
+    if (!entered_quarantine || !guard_)
+        return;
+    const Cycles now = machine_.now();
+    // Respawn only when the pool is provably wedged (no responder
+    // heartbeat within the liveness window): a quarantine caused by
+    // sheer overload is not cured by adding workers the scale-up
+    // wake would have added already.
+    if (!guard_->config().respawn || !guard_->responderLate(now))
+        return;
+    // The wedged fibers keep their pool entries (they exit on stop);
+    // put a fresh responder on the next core in the rotation. The
+    // quarantine probe confirms the recovery.
+    const std::size_t i = responders_.size();
+    CoreId core =
+        config_.responderCores[i % config_.responderCores.size()];
+    if (kind_ == Kind::HotEcall) {
+        // The simulator allows one in-enclave fiber per core, and a
+        // wedged trusted responder never eexits: the replacement must
+        // land on a configured core currently outside the enclave.
+        auto &platform = runtime_.platform();
+        bool found = false;
+        for (CoreId candidate : config_.responderCores) {
+            if (!platform.inEnclave(candidate)) {
+                core = candidate;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return; // every configured core is wedged inside
+    }
+    if (!guard_->respawnAllowed())
+        return;
+    const std::string name =
+        std::string(kind_ == Kind::HotEcall ? "hotq-ecall-resp-r"
+                                            : "hotq-ocall-resp-r") +
+        std::to_string(i);
+    responders_.push_back(machine_.engine().spawn(
+        name, core, [this] { responderLoop(-1); }));
+}
+
+void
 HotQueue::responderLoop(int index)
 {
     auto &engine = machine_.engine();
@@ -613,6 +909,16 @@ HotQueue::responderLoop(int index)
     // conventional ecall each and keeps polling from enclave mode.
     sgx::Tcs *tcs = nullptr;
     if (kind_ == Kind::HotEcall) {
+        // A Sentinel respawn may land while another fiber still holds
+        // this core's enclave context: wait for the core to clear
+        // (one in-enclave fiber per core).
+        while (platform.inEnclave(machine_.currentCore()) &&
+               !stopRequested_ && !engine.stopRequested()) {
+            engine.advance(sdk::kPauseCycles);
+            engine.yield();
+        }
+        if (stopRequested_ || engine.stopRequested())
+            return;
         platform.chargeStage(platform.params().sdkEcallSoftware,
                              runtime_.enclave().untrustedCtxLines(),
                              false);
@@ -624,7 +930,8 @@ HotQueue::responderLoop(int index)
     }
 
     // Surplus pool members start parked; requesters wake them when
-    // the backlog grows (not a scale-down event).
+    // the backlog grows (not a scale-down event). Sentinel respawns
+    // (index -1) replace a wedged worker: they start polling at once.
     if (index >= config_.minResponders)
         parkResponder(false);
 
@@ -638,6 +945,8 @@ HotQueue::responderLoop(int index)
     Cycles window_start = machine_.now();
     while (!stopRequested_) {
         ++stats_.responderPolls;
+        if (guard_)
+            guard_->heartbeat(machine_.now());
         if (injector && injector->fire(fault::Site::CursorStall)) {
             // The consumer cursor goes quiet for a while: the ring
             // fills, requesters hit the claim timeout and fall back.

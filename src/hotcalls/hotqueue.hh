@@ -54,8 +54,10 @@ struct HotQueueConfig {
     int minResponders = 1;
     /** One pool member per core; size = maximum pool size. */
     std::vector<CoreId> responderCores = {2};
-    /** Slot-claim attempts before falling back to the SDK call. */
-    int timeoutTries = 10;
+    /** Timeout policy (shared with HotCallService and the porting
+     *  layer): the fixed slot-claim budget plus Sentinel's
+     *  adaptive-budget and reclaim-deadline knobs (guard/guard.hh). */
+    guard::TimeoutPolicy timeout;
     /** Max slots served per channel acquisition; 0 = numSlots. */
     int maxBatch = 0;
     /** Small per-poll jitter bound (pipeline/branch variation). */
@@ -104,6 +106,10 @@ struct HotQueueStats {
     std::uint64_t inlineStaged = 0; //!< used the inline slot lines
     std::uint64_t arenaStaged = 0;  //!< used the spill arena
     std::uint64_t heapStaged = 0;   //!< spilled past the arena to heap
+    // Sentinel quarantine (guard/guard.hh). Degraded calls also count
+    // as fallbacks (they took the SDK path) but spend zero attempts.
+    std::uint64_t degradedCalls = 0; //!< shed straight to the SDK
+    Cycles degradedCycles = 0;       //!< time spent quarantined
     Histogram depth{64};     //!< pending entries at each enqueue
     Histogram batchSize{64}; //!< slots served per batch
 };
@@ -149,6 +155,9 @@ class HotQueue : public Channel
     Kind kind() const { return kind_; }
     const HotQueueConfig &config() const { return config_; }
 
+    /** @return the channel's Sentinel guard, or null (guard off). */
+    const guard::ChannelGuard *guard() const { return guard_; }
+
     /** @return responders currently polling (not parked). */
     int activeResponders() const
     {
@@ -163,6 +172,7 @@ class HotQueue : public Channel
         Ready,      //!< published; awaiting a responder
         Serving,    //!< grabbed by a responder
         Done,       //!< executed; awaiting harvest by the requester
+        Zombie,     //!< reclaimed by Sentinel; awaiting retirement
     };
 
     /** Payload of a HotEcall request (lives on the requester stack). */
@@ -185,16 +195,41 @@ class HotQueue : public Channel
         edl::FastStaging staging;
         edl::StagedCall scratch;
         bool usedArena = false; //!< in-flight call staged into arena
+        // Sentinel reclamation state (inert while the guard is off).
+        std::uint64_t epoch = 0; //!< bumped at claim and at reclaim:
+                                 //!< a mismatch tells publisher or
+                                 //!< server the slot was taken away
+        Cycles claimedAt = 0;    //!< Publishing-leash anchor
+        Cycles servingSince = 0; //!< Serving-leash anchor
+        bool dispatched = false; //!< server started executing (a
+                                 //!< dispatched handler is never
+                                 //!< reclaimed — it always completes)
+        bool ownerless = false;  //!< Zombie nobody will retire except
+                                 //!< the head scan (Ready-reclaim)
     };
 
-    /** The responder thread body (pool member @p index). */
+    /** The responder thread body (pool member @p index; respawned
+     *  members carry index -1: they never start parked). */
     void responderLoop(int index);
 
     /** Serve up to maxBatch pending slots. @return slots served. */
     int tryServeBatch();
 
-    /** Execute one published request (responder side). */
-    void serveRequest(std::size_t index);
+    /**
+     * Execute one published request (responder side). @p epoch is the
+     * slot epoch captured at grab time; on a mismatch (Sentinel
+     * reclaimed the slot meanwhile) nothing is executed.
+     * @return true when the request actually ran
+     */
+    bool serveRequest(std::size_t index, std::uint64_t epoch);
+
+    /** Return a Zombie slot to Free (fields cleared, line touched). */
+    void retireZombie(std::size_t index);
+
+    /** On quarantine entry: spawn a replacement responder (the wedged
+     *  one keeps its fiber — it exits on stop), within the guard's
+     *  respawn budget. */
+    void maybeRespawn(bool entered_quarantine);
 
     /** Park the calling responder; re-checks conditions under the
      *  pool mutex and counts a scale-down when @p scale_event.
@@ -252,6 +287,9 @@ class HotQueue : public Channel
     bool stopped_ = false;
     bool fastOn_ = false; //!< resolved FastPath switch
     HotQueueStats stats_;
+
+    /** Sentinel supervision, or null when the guard is off. */
+    guard::ChannelGuard *guard_ = nullptr;
 
     /** Shadow state machine when the Machine's checker is on. */
     std::unique_ptr<check::HotQueueProtocol> protocol_;

@@ -34,6 +34,8 @@ Machine::Machine(MachineConfig config)
             check_->onFree(addr, size);
         });
     }
+    if (guard::resolveGuard(config_.guard.mode))
+        guard_ = std::make_unique<guard::Sentinel>(config_.guard);
 }
 
 Machine::~Machine()

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "check/check.hh"
+#include "guard/guard.hh"
 #include "mem/address_space.hh"
 #include "mem/cost_params.hh"
 #include "mem/memory.hh"
@@ -35,6 +36,10 @@ struct MachineConfig {
      *  HC_CHECK environment variable enables it (with
      *  panic-on-violation) unless the config enables it explicitly. */
     check::CheckConfig check;
+    /** Sentinel supervision layer (src/guard). On by default
+     *  (guard.mode = -1 consults HC_GUARD); quiet runs stay
+     *  bit-identical with it on or off. */
+    guard::GuardConfig guard;
 };
 
 /** The simulated platform: cores + address space + memory system. */
@@ -55,6 +60,10 @@ class Machine
 
     /** @return the SimCheck layer, or null when checking is off. */
     check::SimCheck *check() { return check_.get(); }
+
+    /** @return the Sentinel supervisor, or null when the guard is
+     *  off. Channels adopt themselves into it at construction. */
+    guard::Sentinel *guard() { return guard_.get(); }
 
     /**
      * Install (or, with null, remove) a fault injector. The injector
@@ -86,6 +95,7 @@ class Machine
     AddressSpace space_;
     MemoryModel memory_;
     std::unique_ptr<check::SimCheck> check_;
+    std::unique_ptr<guard::Sentinel> guard_;
     fault::FaultInjector *fault_ = nullptr;
 };
 

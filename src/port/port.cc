@@ -126,6 +126,7 @@ PortedApp::PortedApp(sgx::SgxPlatform &platform, os::Kernel &kernel,
                 // direction; the ocall pool may scale onto the
                 // configured extra cores under load.
                 hotcalls::HotQueueConfig ocall_cfg = config_.hotQueue;
+                ocall_cfg.timeout = config_.timeout;
                 if (config_.fastPath != -1)
                     ocall_cfg.fastPath = config_.fastPath;
                 ocall_cfg.responderCores = {config_.hotOcallCore};
@@ -141,6 +142,7 @@ PortedApp::PortedApp(sgx::SgxPlatform &platform, os::Kernel &kernel,
                     *runtime_, hotcalls::Kind::HotEcall, ecall_cfg);
             } else {
                 hotcalls::HotCallConfig hot_cfg;
+                hot_cfg.timeout = config_.timeout;
                 if (config_.fastPath != -1)
                     hot_cfg.fastPath = config_.fastPath;
                 hotOcalls_ = std::make_unique<hotcalls::HotCallService>(

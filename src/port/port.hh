@@ -65,6 +65,11 @@ struct PortConfig {
     CoreId hotOcallCore = 2;
     CoreId hotEcallCore = 3;
     int numTcs = 8;
+    /** Shared timeout policy (guard/guard.hh) applied to both hot
+     *  channels whichever implementation backs them — the single
+     *  source of truth Sentinel's adaptive budget works from. It
+     *  overrides hotQueue.timeout. */
+    guard::TimeoutPolicy timeout;
     /**
      * Use the multi-slot HotQueue (hotqueue.hh) instead of the
      * paper's single-line HotCallService for both directions. All

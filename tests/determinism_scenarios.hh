@@ -94,10 +94,13 @@ struct Fixture {
 
     /** @p bulk_span pins the BulkSpan plane (-1: HC_BULKSPAN / on).
      *  Both positions must digest identically — the plane is a host
-     *  fast path, not a model change. */
+     *  fast path, not a model change. @p guard_mode pins Sentinel
+     *  (-1: HC_GUARD / on) under the same contract: a quiet run never
+     *  trips a guard intervention, so both positions must digest
+     *  identically too. */
     explicit Fixture(bool with_interrupts, bool check_on,
                      const fault::FaultPlan *plan = nullptr,
-                     int bulk_span = -1)
+                     int bulk_span = -1, int guard_mode = -1)
         : machine([&] {
               mem::MachineConfig config;
               config.engine.numCores = 8;
@@ -106,6 +109,7 @@ struct Fixture {
                   with_interrupts ? 7'000'000 : 0;
               config.check.enabled = check_on;
               config.mem.bulkSpanMode = bulk_span;
+              config.guard.mode = guard_mode;
               return config;
           }()),
           platform(machine), runtime(platform, "determinism", kEdl, 4)
@@ -159,9 +163,9 @@ struct Fixture {
 inline Digest
 fig3Scenario(bool with_interrupts, bool hiccups, bool check_on,
              int calls, const fault::FaultPlan *plan = nullptr,
-             int bulk_span = -1)
+             int bulk_span = -1, int guard_mode = -1)
 {
-    Fixture f(with_interrupts, check_on, plan, bulk_span);
+    Fixture f(with_interrupts, check_on, plan, bulk_span, guard_mode);
     hotcalls::HotCallConfig config;
     if (!hiccups)
         config.hiccupChance = 0.0;
@@ -198,9 +202,9 @@ inline Digest
 hotqueueScenario(bool with_interrupts, bool hiccups, bool check_on,
                  int calls_each,
                  const fault::FaultPlan *plan = nullptr,
-                 int bulk_span = -1)
+                 int bulk_span = -1, int guard_mode = -1)
 {
-    Fixture f(with_interrupts, check_on, plan, bulk_span);
+    Fixture f(with_interrupts, check_on, plan, bulk_span, guard_mode);
     hotcalls::HotQueueConfig config;
     config.numSlots = 8;
     config.responderCores = {1, 2};
@@ -263,9 +267,9 @@ hotqueueScenario(bool with_interrupts, bool hiccups, bool check_on,
 inline Digest
 memorySweepScenario(bool check_on,
                     const fault::FaultPlan *plan = nullptr,
-                    int bulk_span = -1)
+                    int bulk_span = -1, int guard_mode = -1)
 {
-    Fixture f(false, check_on, plan, bulk_span);
+    Fixture f(false, check_on, plan, bulk_span, guard_mode);
     std::vector<Cycles> costs;
     f.machine.engine().spawn("sweep", 0, [&] {
         for (std::uint64_t size : {2_KiB, 8_KiB, 32_KiB, 128_KiB}) {
@@ -301,9 +305,9 @@ memorySweepScenario(bool check_on,
 inline Digest
 sdkLoopScenario(bool check_on, int calls,
                 const fault::FaultPlan *plan = nullptr,
-                int bulk_span = -1)
+                int bulk_span = -1, int guard_mode = -1)
 {
-    Fixture f(false, check_on, plan, bulk_span);
+    Fixture f(false, check_on, plan, bulk_span, guard_mode);
     std::vector<Cycles> latencies;
     f.machine.engine().spawn("driver", 0, [&] {
         for (int i = 0; i < calls; ++i) {
@@ -321,15 +325,22 @@ sdkLoopScenario(bool check_on, int calls,
 }
 
 /** Concatenation of every libm-free scenario (the golden input).
- *  @p plan applies to each scenario's machine in turn. */
+ *  @p plan applies to each scenario's machine in turn; @p guard_mode
+ *  pins Sentinel for each machine (both positions must reproduce the
+ *  pinned hash — the guard is quiet on these scenarios). */
 inline std::string
-goldenText(const fault::FaultPlan *plan = nullptr)
+goldenText(const fault::FaultPlan *plan = nullptr,
+           int guard_mode = -1)
 {
     std::string text;
-    text += fig3Scenario(false, false, false, 400, plan).text();
-    text += hotqueueScenario(false, false, false, 150, plan).text();
-    text += memorySweepScenario(false, plan).text();
-    text += sdkLoopScenario(false, 200, plan).text();
+    text += fig3Scenario(false, false, false, 400, plan, -1,
+                         guard_mode)
+                .text();
+    text += hotqueueScenario(false, false, false, 150, plan, -1,
+                             guard_mode)
+                .text();
+    text += memorySweepScenario(false, plan, -1, guard_mode).text();
+    text += sdkLoopScenario(false, 200, plan, -1, guard_mode).text();
     return text;
 }
 
@@ -360,7 +371,7 @@ inline const char *kFastPathEdl = R"(
 inline Digest
 fastPathScenario(bool check_on, int fast_path, int calls,
                  const fault::FaultPlan *plan = nullptr,
-                 int bulk_span = -1)
+                 int bulk_span = -1, int guard_mode = -1)
 {
     mem::MachineConfig machine_config;
     machine_config.engine.numCores = 8;
@@ -368,6 +379,7 @@ fastPathScenario(bool check_on, int fast_path, int calls,
     machine_config.engine.interruptMeanCycles = 0;
     machine_config.check.enabled = check_on;
     machine_config.mem.bulkSpanMode = bulk_span;
+    machine_config.guard.mode = guard_mode;
     mem::Machine machine(machine_config);
     std::unique_ptr<fault::FaultInjector> injector;
     if (plan) {
@@ -446,10 +458,13 @@ fastPathScenario(bool check_on, int fast_path, int calls,
 
 /** Both planes' digests back to back (the FastPath golden input). */
 inline std::string
-fastPathGoldenText(const fault::FaultPlan *plan = nullptr)
+fastPathGoldenText(const fault::FaultPlan *plan = nullptr,
+                   int guard_mode = -1)
 {
-    return fastPathScenario(false, 0, 120, plan).text() +
-           fastPathScenario(false, 1, 120, plan).text();
+    return fastPathScenario(false, 0, 120, plan, -1, guard_mode)
+               .text() +
+           fastPathScenario(false, 1, 120, plan, -1, guard_mode)
+               .text();
 }
 
 } // namespace hc::dtest

@@ -175,6 +175,47 @@ TEST(Determinism, BulkSpanOnOffBitIdentical)
 }
 
 // ----------------------------------------------------------------------
+// Sentinel invariance: the supervision layer only ever acts on
+// conditions a healthy run never produces (fallbacks, late
+// responders, expired deadlines), so with the guard pinned on vs off
+// every quiet scenario — the full golden set, both FastPath planes —
+// must digest byte-identically, and both positions must reproduce the
+// pinned hashes.
+// ----------------------------------------------------------------------
+
+TEST(Determinism, GuardOnOffBitIdentical)
+{
+    const std::string golden_off = goldenText(nullptr, 0);
+    const std::string golden_on = goldenText(nullptr, 1);
+    EXPECT_EQ(golden_off, golden_on)
+        << "Sentinel moved simulated cycles on a quiet run; the "
+           "guard must not draw RNG, charge time, or touch simulated "
+           "memory unless a fallback or deadline fires";
+    EXPECT_EQ(fastHash64(golden_off), kGoldenHash);
+    EXPECT_EQ(fastHash64(golden_on), kGoldenHash);
+
+    const std::string fp_off = fastPathGoldenText(nullptr, 0);
+    const std::string fp_on = fastPathGoldenText(nullptr, 1);
+    EXPECT_EQ(fp_off, fp_on);
+    EXPECT_EQ(fastHash64(fp_off), kFastPathGoldenHash);
+    EXPECT_EQ(fastHash64(fp_on), kFastPathGoldenHash);
+
+    // Full fidelity (interrupts + hiccups armed) with the guard on:
+    // run-twice determinism must survive the extra guard state.
+    const Digest a = fig3Scenario(true, true, false, 200, nullptr,
+                                  -1, 1);
+    const Digest b = fig3Scenario(true, true, false, 200, nullptr,
+                                  -1, 1);
+    EXPECT_EQ(a.text(), b.text());
+
+    const Digest qa = hotqueueScenario(true, true, false, 80,
+                                       nullptr, -1, 1);
+    const Digest qb = hotqueueScenario(true, true, false, 80,
+                                       nullptr, -1, 1);
+    EXPECT_EQ(qa.text(), qb.text());
+}
+
+// ----------------------------------------------------------------------
 // The golden digest. The pinned hash was captured on the seed
 // implementation BEFORE the TurboSim fast paths (PR 4) and must never
 // drift: any host-side optimisation has to reproduce these simulated

@@ -40,6 +40,7 @@
 
 #include "determinism_scenarios.hh"
 #include "fault/fault.hh"
+#include "guard/guard.hh"
 #include "os/kernel.hh"
 #include "port/port.hh"
 #include "support/hash.hh"
@@ -63,6 +64,8 @@ struct Outcome {
     std::uint64_t leakViolations = 0;
     std::uint64_t stops = 0; //!< injector-issued Engine::stop()s
     bool channelWorkload = true; //!< channel-stats accounting applies
+    guard::GuardStats guard; //!< Sentinel counters (guarded runs)
+    std::string guardJson;   //!< Sentinel summary (guarded runs)
     std::string json;   //!< injector summary (artifact line)
     std::string digest; //!< reproducibility fingerprint
 };
@@ -102,6 +105,8 @@ finishOutcome(mem::Machine &machine, FaultInjector &injector,
         static_cast<unsigned long long>(out.stops));
     out.digest = buf;
     out.digest += " " + out.json;
+    if (!out.guardJson.empty())
+        out.digest += " " + out.guardJson;
     auto &engine = machine.engine();
     for (int c = 0; c < engine.numCores(); ++c) {
         std::snprintf(buf, sizeof(buf), " c%d=%llu", c,
@@ -121,6 +126,24 @@ campaignMachineConfig()
     // Explicitly on => record mode even under HC_CHECK=1, so the
     // campaign can assert exact violation counts per scenario.
     config.check.enabled = true;
+    // The legacy campaign pins the pre-Sentinel contract (full spin
+    // budgets, backstop-driven termination of dead channels): force
+    // the guard off regardless of HC_GUARD. The recovery campaign
+    // below turns it on explicitly and asserts the opposite — that
+    // dead channels heal instead of aborting.
+    config.guard.mode = 0;
+    return config;
+}
+
+mem::MachineConfig
+guardedMachineConfig()
+{
+    mem::MachineConfig config = campaignMachineConfig();
+    config.guard.mode = 1;
+    // The campaign workloads are a few hundred thousand cycles end to
+    // end; probe on a matching scale so a quarantine window does not
+    // swallow the whole run.
+    config.guard.probeInterval = 50'000;
     return config;
 }
 
@@ -136,10 +159,11 @@ epcSpike(mem::Machine &machine)
 /** Single-line HotCallService under @p plan. */
 Outcome
 runHotCallWorkload(const FaultPlan &plan, int calls,
-                   bool responder_sleep)
+                   bool responder_sleep, bool guarded = false)
 {
     Outcome out;
-    mem::Machine machine(campaignMachineConfig());
+    mem::Machine machine(guarded ? guardedMachineConfig()
+                                 : campaignMachineConfig());
     FaultInjector injector(machine.engine(), plan);
     machine.installFault(&injector);
     {
@@ -184,19 +208,27 @@ runHotCallWorkload(const FaultPlan &plan, int calls,
         out.fallbacks = s.fallbacks;
         out.aborts = s.aborts;
         out.timeoutAttempts = s.timeoutAttempts;
+        if (const auto *g = hot.guard())
+            out.guard = g->stats();
+        if (auto *sentinel = machine.guard())
+            out.guardJson = sentinel->summaryJson();
     }
     finishOutcome(machine, injector, out);
     return out;
 }
 
-/** 4-requester HotQueue under @p plan. */
+/** 4-requester HotQueue under @p plan. @p serving_leash, when
+ *  non-zero, lowers the Serving-reclaim deadline (recovery tests —
+ *  the default 4M-cycle leash outlasts the whole workload). */
 Outcome
 runHotQueueWorkload(const FaultPlan &plan, int calls_each,
                     std::vector<CoreId> responder_cores,
-                    int min_responders)
+                    int min_responders, bool guarded = false,
+                    Cycles serving_leash = 0)
 {
     Outcome out;
-    mem::Machine machine(campaignMachineConfig());
+    mem::Machine machine(guarded ? guardedMachineConfig()
+                                 : campaignMachineConfig());
     FaultInjector injector(machine.engine(), plan);
     machine.installFault(&injector);
     {
@@ -216,6 +248,8 @@ runHotQueueWorkload(const FaultPlan &plan, int calls_each,
         config.minResponders = min_responders;
         config.scaleWindowPolls = 64; // park/wake traffic
         config.hiccupChance = 0.0;
+        if (serving_leash > 0)
+            config.timeout.servingLeash = serving_leash;
         hotcalls::HotQueue hot(runtime, hotcalls::Kind::HotEcall,
                                config);
         auto &engine = machine.engine();
@@ -249,6 +283,10 @@ runHotQueueWorkload(const FaultPlan &plan, int calls_each,
         out.fallbacks = s.fallbacks;
         out.aborts = s.aborts;
         out.timeoutAttempts = s.timeoutAttempts;
+        if (const auto *g = hot.guard())
+            out.guard = g->stats();
+        if (auto *sentinel = machine.guard())
+            out.guardJson = sentinel->summaryJson();
     }
     finishOutcome(machine, injector, out);
     return out;
@@ -454,14 +492,15 @@ campaign()
 }
 
 void
-writeArtifact(const std::vector<std::string> &lines)
+writeArtifact(const std::vector<std::string> &lines,
+              const char *env = "HC_FAULT_JSON")
 {
-    const char *path = std::getenv("HC_FAULT_JSON");
+    const char *path = std::getenv(env);
     if (!path || !*path)
         return;
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
-        ADD_FAILURE() << "cannot write HC_FAULT_JSON=" << path;
+        ADD_FAILURE() << "cannot write " << env << "=" << path;
         return;
     }
     std::fprintf(f, "[\n");
@@ -657,4 +696,135 @@ TEST(FaultCampaign, PortFallbackReroutesHotOcalls)
     EXPECT_EQ(out.raceViolations, 0u);
     EXPECT_EQ(out.protocolViolations, 0u);
     EXPECT_EQ(out.leakViolations, 0u);
+}
+
+// ----------------------------------------------------------------------
+// Sentinel recovery campaign: the same dead-channel faults the legacy
+// campaign can only survive by aborting, re-run with the guard ON and
+// a backstop far beyond the full run. The run must COMPLETE — every
+// call returns, nothing aborts — and the guard counters must show the
+// designed recovery path, cleanly under SimCheck.
+//
+// Set HC_GUARD_JSON=<path> to write a JSON summary of the recovery
+// scenarios (the CI guard job uploads it as an artifact).
+// ----------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> &
+guardArtifact()
+{
+    static std::vector<std::string> lines;
+    return lines;
+}
+
+void
+pushGuardArtifact(const std::string &name, const Outcome &out)
+{
+    guardArtifact().push_back(
+        "{\"scenario\": \"" + name + "\", \"issued\": " +
+        std::to_string(out.issued) + ", \"returned\": " +
+        std::to_string(out.returned) + ", \"calls\": " +
+        std::to_string(out.channelCalls) + ", \"fallbacks\": " +
+        std::to_string(out.fallbacks) + ", \"timeout_attempts\": " +
+        std::to_string(out.timeoutAttempts) + ", \"stops\": " +
+        std::to_string(out.stops) + ", \"guard\": " + out.guardJson +
+        ", \"summary\": " + out.json + "}");
+}
+
+} // anonymous namespace
+
+TEST(GuardRecovery, NeverWakeHealsSingleLineChannel)
+{
+    // The NeverWakeAbortsThroughBackstop scenario, guarded: the
+    // responder wedges on its very first poll, so the channel must
+    // heal end to end — the stuck request is abandoned and reissued
+    // on the SDK path, the fallback streak quarantines the channel,
+    // quarantine entry respawns the responder fiber, the respawned
+    // responder discards the poisoned request, and a scheduled probe
+    // restores the fast path.
+    const FaultPlan plan =
+        FaultPlan::neverWake(777, 0, 2'000'000'000);
+    const Outcome out =
+        runHotCallWorkload(plan, 200, false, /*guarded=*/true);
+
+    // The run completed instead of hanging until the backstop.
+    EXPECT_EQ(out.stops, 0u);
+    EXPECT_EQ(out.issued, 200u);
+    EXPECT_EQ(out.returned, out.issued);
+    EXPECT_EQ(out.aborts, 0u);
+    EXPECT_EQ(out.channelCalls + out.fallbacks, out.issued);
+
+    // The designed recovery sequence, step by step.
+    EXPECT_EQ(out.guard.abandons, 1u);
+    EXPECT_EQ(out.guard.discards, 1u);
+    EXPECT_EQ(out.guard.respawns, 1u);
+    EXPECT_EQ(out.guard.quarantines, 1u);
+    EXPECT_EQ(out.guard.restores, 1u);
+    EXPECT_GT(out.guard.sheds, 0u);
+    EXPECT_GT(out.guard.degradedCycles, 0u);
+
+    // Degradation is bounded: O(K) spin budgets and one quarantine
+    // window, not O(calls) — the guard-off contract burns the full
+    // budget on every one of the 200 calls (timeoutAttempts = 2000).
+    EXPECT_LT(out.fallbacks, out.issued / 4);
+    EXPECT_GT(out.channelCalls, out.issued / 2);
+    EXPECT_LT(out.timeoutAttempts, 200u);
+
+    // Clean under SimCheck through abandon, discard, and respawn.
+    EXPECT_EQ(out.raceViolations, 0u);
+    EXPECT_EQ(out.protocolViolations, 0u);
+    EXPECT_EQ(out.leakViolations, 0u);
+
+    // Same-seed reproducibility, guard state included.
+    const Outcome again =
+        runHotCallWorkload(plan, 200, false, /*guarded=*/true);
+    EXPECT_EQ(out.digest, again.digest)
+        << "guarded same-seed re-run diverged";
+
+    pushGuardArtifact("neverwake_singleline", out);
+}
+
+TEST(GuardRecovery, NeverWakeMidBatchReclaimsServingSlots)
+{
+    // One of the two pool responders wedges for good mid-batch,
+    // leaving grabbed-but-undispatched slots behind. Their requesters
+    // must reclaim them past the (lowered) serving leash and reissue
+    // on the SDK path, the retired Zombies must not wedge the ring
+    // once the producer cursor wraps back to them, and the surviving
+    // responder must keep the channel healthy for everyone else.
+    const FaultPlan plan =
+        FaultPlan::neverWake(909, 20'000, 2'000'000'000);
+    const Outcome out = runHotQueueWorkload(
+        plan, 80, {1, 2}, 2, /*guarded=*/true,
+        /*serving_leash=*/40'000);
+
+    EXPECT_EQ(out.stops, 0u);
+    EXPECT_EQ(out.issued, 320u);
+    EXPECT_EQ(out.returned, out.issued);
+    EXPECT_EQ(out.aborts, 0u);
+    EXPECT_EQ(out.channelCalls + out.fallbacks, out.issued);
+
+    // At least one Serving-reclaim happened and its Zombie was
+    // retired (stale-epoch path or a wrapping claimer).
+    EXPECT_GE(out.guard.reclaimedServing, 1u);
+    EXPECT_GE(out.guard.zombieRetires, 1u);
+
+    // The surviving responder kept the ring fast: reclaims and ring
+    // pressure cost a bounded number of fallbacks.
+    EXPECT_LT(out.fallbacks, out.issued / 4);
+    EXPECT_GT(out.channelCalls, out.issued / 2);
+
+    EXPECT_EQ(out.raceViolations, 0u);
+    EXPECT_EQ(out.protocolViolations, 0u);
+    EXPECT_EQ(out.leakViolations, 0u);
+
+    const Outcome again = runHotQueueWorkload(
+        plan, 80, {1, 2}, 2, /*guarded=*/true,
+        /*serving_leash=*/40'000);
+    EXPECT_EQ(out.digest, again.digest)
+        << "guarded same-seed re-run diverged";
+
+    pushGuardArtifact("neverwake_hotqueue_midbatch", out);
+    writeArtifact(guardArtifact(), "HC_GUARD_JSON");
 }

@@ -204,7 +204,7 @@ TEST(HotCalls, FallbackWhenResponderSaturated)
         f.machine.engine().advance(3'000'000); // hog the responder
     });
     HotCallConfig config;
-    config.timeoutTries = 3;
+    config.timeout.timeoutTries = 3;
     HotCallService hot(f.runtime, Kind::HotEcall, 1, config);
     auto &engine = f.machine.engine();
 
@@ -235,7 +235,7 @@ TEST(HotCalls, FallbackCountedOncePerLogicalCall)
         f.machine.engine().advance(3'000'000); // hog the responder
     });
     HotCallConfig config;
-    config.timeoutTries = 7;
+    config.timeout.timeoutTries = 7;
     HotCallService hot(f.runtime, Kind::HotEcall, 1, config);
     auto &engine = f.machine.engine();
 
@@ -253,7 +253,7 @@ TEST(HotCalls, FallbackCountedOncePerLogicalCall)
         // single fallback.
         EXPECT_EQ(hot.stats().fallbacks, 1u);
         EXPECT_EQ(hot.stats().timeoutAttempts,
-                  static_cast<std::uint64_t>(config.timeoutTries));
+                  static_cast<std::uint64_t>(config.timeout.timeoutTries));
         hot.stop();
         engine.stop();
     });

@@ -222,7 +222,7 @@ TEST(HotQueue, FallbackWhenRingSaturated)
     });
     HotQueueConfig config;
     config.numSlots = 1;
-    config.timeoutTries = 3;
+    config.timeout.timeoutTries = 3;
     config.responderCores = {1};
     HotQueue hot(f.runtime, Kind::HotEcall, config);
     auto &engine = f.machine.engine();
@@ -257,7 +257,7 @@ TEST(HotQueue, ScaleWakeCountedOncePerLogicalCall)
     });
     HotQueueConfig config;
     config.numSlots = 1; // the hog's slot blocks every claim
-    config.timeoutTries = 8;
+    config.timeout.timeoutTries = 8;
     config.responderCores = {1, 2, 3}; // two parked pool members
     config.minResponders = 1;
     HotQueue hot(f.runtime, Kind::HotEcall, config);
@@ -277,7 +277,7 @@ TEST(HotQueue, ScaleWakeCountedOncePerLogicalCall)
         // second parked member on the next attempt too).
         EXPECT_EQ(hot.stats().fallbacks, 1u);
         EXPECT_EQ(hot.stats().timeoutAttempts,
-                  static_cast<std::uint64_t>(config.timeoutTries));
+                  static_cast<std::uint64_t>(config.timeout.timeoutTries));
         EXPECT_EQ(hot.stats().scaleUps, 1u);
         EXPECT_EQ(hot.stats().wakeups, 1u);
         hot.stop();
